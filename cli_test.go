@@ -1,0 +1,79 @@
+package cdnjson
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds every command and drives the full workflow a
+// user would run: generate a dataset, characterize it, analyze
+// periodicity, evaluate prediction, simulate prefetching, and scan for
+// anomalies. It is an end-to-end check that the binaries compose through
+// their file formats.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline test builds binaries; skipped in -short")
+	}
+	bin := t.TempDir()
+	tools := []string{"jsongen", "jsonchar", "jsonperiod", "jsonpredict", "jsonprefetch", "jsonanomaly", "jsonconvert"}
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	data := filepath.Join(t.TempDir(), "pattern.cdnb.gz")
+	run("jsongen", "-preset", "long", "-duration", "45m", "-target", "30000",
+		"-domains", "20", "-seed", "5", "-o", data)
+	if fi, err := os.Stat(data); err != nil || fi.Size() == 0 {
+		t.Fatalf("dataset not written: %v", err)
+	}
+
+	char := run("jsonchar", "-i", data)
+	for _, want := range []string{"Traffic source", "GET (download)", "Figure 4 heatmap", "Figure 2"} {
+		if !strings.Contains(char, want) {
+			t.Errorf("jsonchar output missing %q", want)
+		}
+	}
+
+	period := run("jsonperiod", "-i", data, "-x", "25", "-bin", "2s")
+	if !strings.Contains(period, "periodic requests:") {
+		t.Errorf("jsonperiod output malformed:\n%.400s", period)
+	}
+
+	predict := run("jsonpredict", "-i", data, "-k", "1,5")
+	if !strings.Contains(predict, "Clustered URLs") {
+		t.Errorf("jsonpredict output malformed:\n%.400s", predict)
+	}
+
+	pf := run("jsonprefetch", "-i", data, "-k", "1")
+	if !strings.Contains(pf, "baseline") || !strings.Contains(pf, "prefetch K=1") {
+		t.Errorf("jsonprefetch output malformed:\n%.400s", pf)
+	}
+
+	an := run("jsonanomaly", "-train", data, "-top", "3")
+	if !strings.Contains(an, "scanned") {
+		t.Errorf("jsonanomaly output malformed:\n%.400s", an)
+	}
+
+	// Transcode binary -> TSV with JSON filtering and re-analyze.
+	tsv := filepath.Join(t.TempDir(), "json.tsv.gz")
+	run("jsonconvert", "-i", data, "-o", tsv, "-json-only")
+	char2 := run("jsonchar", "-i", tsv)
+	if !strings.Contains(char2, "Traffic source") {
+		t.Errorf("converted file unreadable:\n%.300s", char2)
+	}
+}

@@ -1,0 +1,136 @@
+// Command jsonchar runs the §4 characterization over a log file (or a
+// freshly generated dataset): traffic sources by device (Fig. 3),
+// browser vs non-browser shares, request methods, response sizes, and
+// the per-category cacheability heatmap (Fig. 4).
+//
+// Usage:
+//
+//	jsonchar -i logs.tsv.gz
+//	jsonchar -synth -scale 0.002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domaincat"
+	"repro/internal/logfmt"
+	"repro/internal/rollup"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/uastring"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "", "input log file (.tsv/.jsonl[.gz])")
+		useSynth = flag.Bool("synth", false, "characterize a freshly generated short-term dataset")
+		scale    = flag.Float64("scale", 0.002, "scale for -synth")
+		seed     = flag.Uint64("seed", 42, "seed for -synth")
+		topApps  = flag.Int("top-apps", 10, "how many applications to list")
+	)
+	flag.Parse()
+
+	var src core.Source
+	switch {
+	case *useSynth:
+		src = core.SynthSource(synth.ShortTermConfig(*seed, *scale))
+	case *in != "":
+		src = core.FileSource(*in)
+	default:
+		fmt.Fprintln(os.Stderr, "jsonchar: need -i FILE or -synth")
+		os.Exit(2)
+	}
+
+	char := taxonomy.NewCharacterization()
+	cacheability := taxonomy.NewDomainCacheability(domaincat.NewCatalog())
+	hourly := rollup.New(time.Hour)
+	fine := rollup.New(10 * time.Minute)
+	err := src.Each(func(r *logfmt.Record) error {
+		char.ObserveAny(r)
+		hourly.Observe(r)
+		fine.Observe(r)
+		if r.IsJSON() {
+			cacheability.Observe(r)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
+		os.Exit(1)
+	}
+	if char.Total == 0 {
+		fmt.Fprintln(os.Stderr, "jsonchar: no application/json records in input")
+		os.Exit(1)
+	}
+
+	fmt.Printf("JSON requests: %d\n\n", char.Total)
+
+	fmt.Println("Figure 2: JSON traffic taxonomy (measured shares in brackets):")
+	fmt.Print(taxonomy.Figure2Tree(char))
+	fmt.Println()
+
+	fmt.Println("Traffic source (share of JSON requests, Fig. 3):")
+	devices := []uastring.DeviceType{uastring.DeviceMobile, uastring.DeviceUnknown,
+		uastring.DeviceEmbedded, uastring.DeviceDesktop}
+	labels := make([]string, len(devices))
+	values := make([]float64, len(devices))
+	for i, d := range devices {
+		labels[i] = d.String()
+		values[i] = char.DeviceShare(d)
+	}
+	fmt.Print(stats.BarChart(labels, values, 50))
+	fmt.Printf("non-browser traffic: %s   mobile-browser: %s\n\n",
+		stats.Percent(char.NonBrowserShare()), stats.Percent(char.MobileBrowserShare()))
+
+	fmt.Printf("Top applications:\n")
+	for _, kv := range char.Apps.TopK(*topApps) {
+		fmt.Printf("  %-24s %d\n", kv.Key, kv.Count)
+	}
+	fmt.Println()
+
+	fmt.Println("Request type:")
+	fmt.Printf("  GET (download): %s   POST of remainder: %s\n\n",
+		stats.Percent(char.GETShare()), stats.Percent(char.POSTShareOfRest()))
+
+	fmt.Println("Response type:")
+	j50, j75, h50, h75 := char.SizeQuantiles()
+	fmt.Printf("  JSON size p50/p75: %.0f/%.0f B", j50, j75)
+	if h50 > 0 {
+		fmt.Printf("   (HTML: %.0f/%.0f B; JSON %s and %s smaller)",
+			h50, h75, stats.Percent(1-j50/h50), stats.Percent(1-j75/h75))
+	}
+	fmt.Println()
+	fmt.Printf("  uncacheable: %s   hit ratio on cacheable: %s\n\n",
+		stats.Percent(char.UncacheableShare()), stats.Percent(char.HitRatio()))
+
+	// Volume profile: hourly buckets for day-scale captures, 10-minute
+	// buckets for shorter ones.
+	series := hourly.Series("application/json")
+	label := "Hourly"
+	if len(series) < 3 {
+		series = fine.Series("application/json")
+		label = "10-minute"
+	}
+	if len(series) > 1 && len(series) <= 150 {
+		fmt.Printf("%s JSON request volume:\n", label)
+		labels := make([]string, len(series))
+		values := make([]float64, len(series))
+		for i, p := range series {
+			labels[i] = p.Start.Format("15:04")
+			values[i] = float64(p.Requests)
+		}
+		fmt.Print(stats.BarChart(labels, values, 40))
+		fmt.Println()
+	}
+
+	never, always, mixed := cacheability.PolicyShares()
+	fmt.Printf("Domain cacheability (%d domains): never %s, always %s, mixed %s\n",
+		cacheability.NumDomains(), stats.Percent(never), stats.Percent(always), stats.Percent(mixed))
+	fmt.Println("\nFigure 4 heatmap (rows: category, cols: cacheable share 0-100%):")
+	fmt.Print(stats.Heatmap(cacheability.Heatmap(10)))
+}

@@ -1,0 +1,102 @@
+// Command jsongen generates synthetic CDN edge request logs modeled on
+// the paper's datasets (Table 2).
+//
+// Usage:
+//
+//	jsongen -preset short -scale 0.002 -o logs.tsv.gz
+//	jsongen -preset long -seed 7 -o logs.jsonl
+//	jsongen -duration 2h -target 150000 -domains 40 -o pattern.tsv
+//
+// The output format is inferred from the file extension (.tsv or .jsonl,
+// with optional .gz); "-" writes TSV to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "short", `dataset preset: "short" (10 min, wide) or "long" (24 h, narrow)`)
+		scale    = flag.Float64("scale", 0.002, "scale factor relative to the paper's dataset sizes")
+		seed     = flag.Uint64("seed", 42, "generator seed; equal seeds give identical datasets")
+		out      = flag.String("o", "-", "output path (.tsv/.jsonl/.cdnb[.gz]) or - for stdout")
+		duration = flag.Duration("duration", 0, "override capture window")
+		target   = flag.Int("target", 0, "override target record count")
+		domains  = flag.Int("domains", 0, "override domain count")
+		utcOff   = flag.Duration("utc-offset", 0, "vantage time-zone offset shifting the diurnal cycle (e.g. -8h, 9h)")
+		quiet    = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+
+	var cfg synth.Config
+	switch *preset {
+	case "short":
+		cfg = synth.ShortTermConfig(*seed, *scale)
+	case "long":
+		cfg = synth.LongTermConfig(*seed, *scale)
+	default:
+		fatalf("unknown preset %q (want short or long)", *preset)
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *target > 0 {
+		cfg.TargetRequests = *target
+	}
+	if *domains > 0 {
+		cfg.Domains = *domains
+	}
+	cfg.UTCOffset = *utcOff
+
+	w, closeFn, err := openOutput(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	summary := logfmt.NewDatasetSummary(*preset)
+	start := time.Now()
+	err = synth.Generate(cfg, func(r *logfmt.Record) error {
+		summary.Observe(r)
+		return w.Write(r)
+	})
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	if err := closeFn(); err != nil {
+		fatalf("close: %v", err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%s (wrote in %s)\n", summary, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func openOutput(path string) (logfmt.RecordWriter, func() error, error) {
+	if path == "-" {
+		w := logfmt.NewWriter(os.Stdout, logfmt.FormatTSV)
+		return w, w.Close, nil
+	}
+	w, closer, err := logfmt.CreateFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	closeFn := func() error {
+		if err := w.Close(); err != nil {
+			closer.Close()
+			return err
+		}
+		return closer.Close()
+	}
+	return w, closeFn, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "jsongen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command jsonreplay drives a recorded log file against a live HTTP
+// endpoint, preserving methods, paths, and user agents while compressing
+// the original timing — a load generator shaped like real (or synthetic)
+// CDN traffic.
+//
+// Usage:
+//
+//	jsonreplay -i pattern.tsv.gz -target http://127.0.0.1:8080 -speed 60
+//	jsonreplay -i logs.cdnb -target http://edge:8080 -json-only -max 10000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logfmt"
+	"repro/internal/replay"
+)
+
+func main() {
+	var (
+		in          = flag.String("i", "", "input log file (.tsv/.jsonl/.cdnb[.gz])")
+		target      = flag.String("target", "", "base URL to replay against")
+		speed       = flag.Float64("speed", 60, "timing compression factor")
+		concurrency = flag.Int("c", 16, "max in-flight requests")
+		jsonOnly    = flag.Bool("json-only", false, "replay only application/json records")
+		maxReqs     = flag.Int("max", 0, "stop after this many records (0 = all)")
+	)
+	flag.Parse()
+	if *in == "" || *target == "" {
+		fmt.Fprintln(os.Stderr, "jsonreplay: need -i FILE and -target URL")
+		os.Exit(2)
+	}
+
+	var records []logfmt.Record
+	err := core.FileSource(*in).Each(func(r *logfmt.Record) error {
+		if *jsonOnly && !r.IsJSON() {
+			return nil
+		}
+		if *maxReqs > 0 && len(records) >= *maxReqs {
+			return nil
+		}
+		records = append(records, *r)
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d records at %gx against %s\n", len(records), *speed, *target)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := replay.Run(ctx, records, replay.Config{
+		Target:      *target,
+		Speed:       *speed,
+		Concurrency: *concurrency,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsonreplay: stopped early: %v\n", err)
+	}
+
+	fmt.Printf("sent %d requests in %s (%.0f rps), %d transport errors\n",
+		res.Sent, res.Wall.Round(time.Millisecond),
+		float64(res.Sent)/res.Wall.Seconds(), res.Errors)
+	for status, n := range res.Status {
+		fmt.Printf("  HTTP %d: %d\n", status, n)
+	}
+	if res.Latency.N() > 0 {
+		fmt.Printf("latency mean %.1fms max %.1fms\n",
+			res.Latency.Mean()*1e3, res.Latency.Max()*1e3)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "jsonreplay: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command jsonrepro regenerates every table and figure of the paper in
+// one run, printing each alongside the paper's reported values.
+//
+// Usage:
+//
+//	jsonrepro                         # laptop-scale defaults
+//	jsonrepro -scale 0.01 -x 100      # bigger datasets, paper's x
+//	jsonrepro -only fig5,table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 42, "seed for all datasets and permutations")
+		scale  = flag.Float64("scale", 0.002, "scale of the Table 2 presets")
+		target = flag.Int("pattern-target", 120_000, "records in the §5 pattern dataset")
+		window = flag.Duration("pattern-window", 2*time.Hour, "capture window of the pattern dataset")
+		x      = flag.Int("x", 100, "periodicity permutations")
+		bin    = flag.Duration("bin", 2*time.Second, "periodicity sampling interval")
+		only   = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional")
+		csvDir = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:          *seed,
+		Scale:         *scale,
+		PatternTarget: *target,
+		PatternWindow: *window,
+		Permutations:  *x,
+		SampleBin:     *bin,
+	}
+	r := experiments.NewRunner(cfg)
+	start := time.Now()
+
+	if *only == "" {
+		rep, err := r.RunAll(os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if *csvDir != "" {
+			if err := experiments.WriteCSV(*csvDir, rep); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+		}
+	} else {
+		for _, name := range strings.Split(*only, ",") {
+			var err error
+			fmt.Printf("\n== %s ==\n", name)
+			switch strings.TrimSpace(strings.ToLower(name)) {
+			case "fig1":
+				_, err = r.Figure1(os.Stdout)
+			case "table2":
+				_, err = r.Table2(os.Stdout)
+			case "fig3":
+				_, err = r.Figure3(os.Stdout)
+			case "fig4":
+				_, err = r.Figure4(os.Stdout)
+			case "fig5":
+				_, err = r.Figure5(os.Stdout)
+			case "fig6":
+				_, err = r.Figure6(os.Stdout)
+			case "table3":
+				_, err = r.Table3(os.Stdout)
+			case "prefetch":
+				_, err = r.Prefetch(os.Stdout)
+			case "deprioritize":
+				_, err = r.Deprioritize(os.Stdout)
+			case "anomaly":
+				_, err = r.Anomaly(os.Stdout)
+			case "regional":
+				_, err = r.Regional(os.Stdout)
+			default:
+				err = fmt.Errorf("unknown experiment %q", name)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "jsonrepro: %v\n", err)
+	os.Exit(1)
+}

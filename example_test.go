@@ -1,0 +1,50 @@
+package cdnjson_test
+
+import (
+	"fmt"
+
+	cdnjson "repro"
+)
+
+func ExampleClusterURL() {
+	// Volatile components (IDs, coordinates, session tokens) template
+	// away; static structure is preserved.
+	fmt.Println(cdnjson.ClusterURL("https://news.example.com/article/1234"))
+	fmt.Println(cdnjson.ClusterURL("https://api.example.com/geo/40.7128/-74.0060"))
+	fmt.Println(cdnjson.ClusterURL("https://api.example.com/v1/stories?user=99&lat=40.7"))
+	// Output:
+	// https://news.example.com/article/{num}
+	// https://api.example.com/geo/{num}/{num}
+	// https://api.example.com/v1/stories?lat={v}&user={v}
+}
+
+func ExampleClassifyUserAgent() {
+	for _, ua := range []string{
+		"NewsApp/3.1 (iPhone; iOS 12.2)",
+		"Mozilla/5.0 (PlayStation 4 6.51) AppleWebKit/605.1.15 (KHTML, like Gecko)",
+		"curl/7.64.0",
+	} {
+		cls := cdnjson.ClassifyUserAgent(ua)
+		fmt.Printf("%s browser=%v app=%s\n", cls.Device, cls.Browser, cls.App)
+	}
+	// Output:
+	// Mobile browser=false app=NewsApp
+	// Embedded browser=false app=PlayStation
+	// Unknown browser=false app=curl
+}
+
+func ExampleNewPredictionModel() {
+	m := cdnjson.NewPredictionModel(1)
+	// Ten clients walking the same manifest -> article chain.
+	for i := 0; i < 10; i++ {
+		m.Train([]string{
+			"https://x.com/stories",
+			"https://x.com/article/1",
+			"https://x.com/article/2",
+		})
+	}
+	next := m.PredictTopK([]string{"https://x.com/stories"}, 1)
+	fmt.Println(next[0])
+	// Output:
+	// https://x.com/article/1
+}

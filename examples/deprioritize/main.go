@@ -1,0 +1,98 @@
+// Deprioritize: evaluate the paper's §7 proposal — serve human-triggered
+// requests ahead of machine-to-machine traffic at a busy edge. The
+// machine set comes from the §5.1 periodicity analysis, so this example
+// chains detection into policy.
+//
+//	go run ./examples/deprioritize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cdnjson "repro"
+	"repro/internal/logfmt"
+)
+
+func main() {
+	cfg := cdnjson.LongTermConfig(13, 1)
+	cfg.Duration = time.Hour
+	cfg.TargetRequests = 50_000
+	cfg.Domains = 25
+	fmt.Printf("generating ~%d records...\n", cfg.TargetRequests)
+	recs, err := cdnjson.GenerateRecords(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: find the machine-to-machine objects via periodicity.
+	ex := cdnjson.NewFlowExtractor()
+	ex.Filter = func(r *cdnjson.Record) bool { return r.IsJSON() }
+	for i := range recs {
+		ex.Observe(&recs[i])
+	}
+	pcfg := cdnjson.DefaultPeriodicityConfig()
+	pcfg.Detector.Permutations = 40
+	pcfg.SampleBin = 2 * time.Second
+	res := cdnjson.AnalyzePeriodicity(ex.Flows(), ex.TotalObserved(), pcfg)
+	machine := map[string]bool{}
+	for _, o := range res.PeriodicObjects() {
+		machine[o.URL] = true
+	}
+	fmt.Printf("periodicity analysis labeled %d objects machine-to-machine\n\n", len(machine))
+
+	// Step 2: build the scheduler workload. Service cost ~ fixed CPU +
+	// bytes, scaled so two workers run at ~85% utilization.
+	var reqs []cdnjson.SchedRequest
+	var total time.Duration
+	var first, last time.Time
+	for i := range recs {
+		r := &recs[i]
+		if !r.IsJSON() {
+			continue
+		}
+		svc := 2*time.Millisecond + time.Duration(r.Bytes)*200*time.Nanosecond
+		class := cdnjson.ClassHuman
+		if machine[logfmt.CanonicalURL(r.URL)] {
+			class = cdnjson.ClassMachine
+		}
+		reqs = append(reqs, cdnjson.SchedRequest{Arrival: r.Time, Service: svc, Class: class})
+		total += svc
+		if first.IsZero() || r.Time.Before(first) {
+			first = r.Time
+		}
+		if r.Time.After(last) {
+			last = r.Time
+		}
+	}
+	const workers = 2
+	factor := 0.85 * last.Sub(first).Seconds() * workers / total.Seconds()
+	for i := range reqs {
+		reqs[i].Service = time.Duration(float64(reqs[i].Service) * factor)
+	}
+
+	// Step 3: compare FIFO against human-priority.
+	fifo, prio, err := cdnjson.CompareScheduling(reqs, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-8s %-12s %-12s %-12s\n", "discipline", "class", "mean wait", "p95", "p99")
+	show := func(d, c string, mean, p95, p99 float64) {
+		fmt.Printf("%-10s %-8s %-12s %-12s %-12s\n", d, c,
+			fmtDur(mean), fmtDur(p95), fmtDur(p99))
+	}
+	show("fifo", "human", fifo.Human.Wait.Mean(), fifo.Human.P95, fifo.Human.P99)
+	show("fifo", "machine", fifo.Machine.Wait.Mean(), fifo.Machine.P95, fifo.Machine.P99)
+	show("priority", "human", prio.Human.Wait.Mean(), prio.Human.P95, prio.Human.P99)
+	show("priority", "machine", prio.Machine.Wait.Mean(), prio.Machine.P95, prio.Machine.P99)
+	if fifo.Human.P95 > 0 {
+		fmt.Printf("\nhuman p95 wait reduced %.0f%% by deprioritizing machine traffic\n",
+			(1-prio.Human.P95/fifo.Human.P95)*100)
+	}
+	fmt.Println("(no human is staring at a screen waiting for the machine traffic — §5.1)")
+}
+
+func fmtDur(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Millisecond).String()
+}

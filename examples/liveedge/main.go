@@ -1,0 +1,136 @@
+// Liveedge: run a real net/http caching edge server on loopback, drive
+// it with synthetic clients following the paper's manifest pattern
+// (Table 1: fetch /stories, then the referenced articles), then analyze
+// the edge's own request log with the characterization pipeline.
+//
+//	go run ./examples/liveedge
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	cdnjson "repro"
+	"repro/internal/edge"
+)
+
+func main() {
+	var (
+		mu   sync.Mutex
+		logs []cdnjson.Record
+	)
+	e := &cdnjson.HTTPEdge{
+		Cache:  edgeCache(),
+		Origin: &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond},
+		Log: func(r *cdnjson.Record) {
+			mu.Lock()
+			logs = append(logs, *r)
+			mu.Unlock()
+		},
+	}
+	srv := httptest.NewServer(e)
+	defer srv.Close()
+	fmt.Printf("edge server listening at %s\n", srv.URL)
+
+	// Drive it: concurrent app clients load the manifest and then read
+	// articles; one IoT poller posts telemetry.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stagger arrivals as real clients would; simultaneous cold
+			// starts would all miss before the first response fills the
+			// cache.
+			time.Sleep(time.Duration(c) * 40 * time.Millisecond)
+			appClient(srv.URL, c)
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			req, _ := http.NewRequest("POST", srv.URL+"/ingest/metrics", nil)
+			req.Header.Set("User-Agent", "HomeCam/1.9 (IoT; ESP32)")
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// Analyze the edge's own log.
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nedge served %d requests; analyzing its log...\n\n", len(logs))
+	char := cdnjson.NewCharacterization()
+	var hits, cacheable int
+	for i := range logs {
+		char.ObserveAny(&logs[i])
+		switch logs[i].Cache {
+		case cdnjson.CacheHit:
+			hits++
+			cacheable++
+		case cdnjson.CacheMiss:
+			cacheable++
+		}
+	}
+	fmt.Printf("device shares: mobile %.0f%%, embedded %.0f%%\n",
+		char.DeviceShare(cdnjson.DeviceMobile)*100,
+		char.DeviceShare(cdnjson.DeviceEmbedded)*100)
+	fmt.Printf("GET share: %.0f%%   uncacheable: %.0f%%\n",
+		char.GETShare()*100, char.UncacheableShare()*100)
+	if cacheable > 0 {
+		fmt.Printf("edge cache hit ratio: %.0f%% (%d/%d cacheable requests)\n",
+			float64(hits)/float64(cacheable)*100, hits, cacheable)
+	}
+}
+
+func edgeCache() *cdnjson.EdgeCache {
+	return edge.NewCache(32<<20, time.Minute, 4)
+}
+
+// appClient mimics the Table 1 flow: GET the manifest, decode it, then
+// GET a few referenced articles.
+func appClient(base string, id int) {
+	ua := fmt.Sprintf("NewsApp/3.1 (iPhone; iOS 12.2; client %d)", id)
+	get := func(path string) []byte {
+		req, err := http.NewRequest("GET", base+path, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("User-Agent", ua)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Printf("client %d: %v", id, err)
+			return nil
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return body
+	}
+	manifest := get("/stories")
+	var stories []struct {
+		ID int `json:"article_id"`
+	}
+	if err := json.Unmarshal(manifest, &stories); err != nil {
+		log.Printf("client %d: bad manifest: %v", id, err)
+		return
+	}
+	for i, s := range stories {
+		if i >= 3+id%3 {
+			break
+		}
+		get(fmt.Sprintf("/article/%d", s.ID))
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a small synthetic CDN log dataset and run the
+// paper's §4 characterization over it using only the public cdnjson API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cdnjson "repro"
+)
+
+func main() {
+	// A scaled-down version of the paper's short-term dataset
+	// (Table 2): 10 minutes of CDN-wide traffic.
+	cfg := cdnjson.ShortTermConfig(42, 0.001)
+	fmt.Printf("generating ~%d records over %s across %d domains...\n",
+		cfg.TargetRequests, cfg.Duration, cfg.Domains)
+
+	char := cdnjson.NewCharacterization()
+	var total int
+	err := cdnjson.Generate(cfg, func(r *cdnjson.Record) error {
+		total++
+		char.ObserveAny(r)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generated %d records, %d of them application/json\n\n", total, char.Total)
+	fmt.Println("device shares of JSON traffic (paper Fig. 3: mobile>=55%, embedded 12%, unknown 24%):")
+	for _, d := range []cdnjson.DeviceType{
+		cdnjson.DeviceMobile, cdnjson.DeviceUnknown, cdnjson.DeviceEmbedded, cdnjson.DeviceDesktop,
+	} {
+		fmt.Printf("  %-9s %5.1f%%\n", d, char.DeviceShare(d)*100)
+	}
+	fmt.Printf("\nnon-browser traffic: %.1f%% (paper: 88%%)\n", char.NonBrowserShare()*100)
+	fmt.Printf("GET share: %.1f%% (paper: 84%%)\n", char.GETShare()*100)
+	fmt.Printf("uncacheable JSON: %.1f%% (paper: ~55%%)\n", char.UncacheableShare()*100)
+
+	j50, j75, h50, h75 := char.SizeQuantiles()
+	fmt.Printf("JSON sizes p50/p75: %.0f/%.0f B vs HTML %.0f/%.0f B\n", j50, j75, h50, h75)
+}

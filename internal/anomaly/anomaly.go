@@ -1,0 +1,197 @@
+// Package anomaly implements the two anomaly detectors the paper
+// proposes as applications of its traffic patterns: flagging requests
+// the ngram model considers highly unlikely given the client's recent
+// history (§5.2, "detect when a highly unlikely object is requested"),
+// and flagging periodic objects requested off their established period
+// (§5.1, "requested at a different period than it is intended").
+package anomaly
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+	"repro/internal/urlkit"
+)
+
+// RequestVerdict is the outcome of scoring one request.
+type RequestVerdict struct {
+	// Score is the model's backoff score for the request given the
+	// client's history (0 = never seen).
+	Score float64
+	// Anomalous is true when the score falls below the detector
+	// threshold and the client has enough history to judge.
+	Anomalous bool
+}
+
+// RequestDetector flags requests that are improbable continuations of a
+// client's flow under a trained ngram model. RequestDetector is not safe
+// for concurrent use.
+type RequestDetector struct {
+	// Model is the trained prediction model; required.
+	Model *ngram.Model
+	// Threshold is the score below which a request is anomalous.
+	Threshold float64
+	// MinHistory is how many requests a client must have made before
+	// verdicts are issued (cold-start suppression).
+	MinHistory int
+	// Clustered scores cluster templates instead of raw URLs. The paper
+	// recommends exactly this (§5.2): raw personalized URLs (session
+	// tokens, per-client IDs) are unseen by construction and would all
+	// alarm; templates separate "new parameter value" from "new
+	// endpoint". The model must have been trained on clustered URLs.
+	Clustered bool
+
+	history map[flows.ClientKey][]string
+	counts  map[flows.ClientKey]int
+	recent  map[flows.ClientKey]*scoreRing
+}
+
+// scoreRing keeps a client's last few scores so verdicts can be
+// normalized against the client's typical predictability: a flow the
+// model has never learned (a cold application or domain) scores near
+// zero throughout, and alarming on all of it would be noise, not
+// detection.
+type scoreRing struct {
+	vals [8]float64
+	n    int
+	idx  int
+}
+
+func (s *scoreRing) add(v float64) {
+	s.vals[s.idx] = v
+	s.idx = (s.idx + 1) % len(s.vals)
+	if s.n < len(s.vals) {
+		s.n++
+	}
+}
+
+// median returns the median of the retained scores (0 when empty).
+func (s *scoreRing) median() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	buf := make([]float64, s.n)
+	copy(buf, s.vals[:s.n])
+	sort.Float64s(buf)
+	return buf[s.n/2]
+}
+
+// NewRequestDetector returns a detector with a conservative threshold:
+// scores below 1e-3 (three backoff decades below certainty) alarm after
+// 3 requests of history.
+func NewRequestDetector(model *ngram.Model) *RequestDetector {
+	return &RequestDetector{
+		Model:      model,
+		Threshold:  1e-3,
+		MinHistory: 3,
+		history:    make(map[flows.ClientKey][]string),
+		counts:     make(map[flows.ClientKey]int),
+		recent:     make(map[flows.ClientKey]*scoreRing),
+	}
+}
+
+// Observe scores one request and updates the client's history.
+func (d *RequestDetector) Observe(r *logfmt.Record) RequestVerdict {
+	if d.history == nil {
+		d.history = make(map[flows.ClientKey][]string)
+	}
+	if d.counts == nil {
+		d.counts = make(map[flows.ClientKey]int)
+	}
+	if d.recent == nil {
+		d.recent = make(map[flows.ClientKey]*scoreRing)
+	}
+	key := flows.ClientKeyFor(r)
+	url := logfmt.CanonicalURL(r.URL)
+	if d.Clustered {
+		url = urlkit.Cluster(url)
+	}
+	h := d.history[key]
+	var v RequestVerdict
+	v.Score = d.Model.Score(h, url)
+	ring := d.recent[key]
+	if ring == nil {
+		ring = &scoreRing{}
+		d.recent[key] = ring
+	}
+	// Alarm only when the request is unlikely *and* the client's recent
+	// requests were predictable: a client the model cannot score at all
+	// (cold application, untrained domain) yields no signal.
+	if d.counts[key] >= d.MinHistory && v.Score < d.Threshold &&
+		ring.median() >= 10*d.Threshold {
+		v.Anomalous = true
+	}
+	ring.add(v.Score)
+	d.counts[key]++
+	h = append(h, url)
+	if max := d.Model.Order() + 1; len(h) > max {
+		h = h[len(h)-max:]
+	}
+	d.history[key] = h
+	return v
+}
+
+// PeriodVerdict is the outcome of checking one request's timing.
+type PeriodVerdict struct {
+	// Deviation is |gap - period| / period for this arrival; 0 for the
+	// first request of a client.
+	Deviation float64
+	// Anomalous is true when the deviation exceeds the tolerance.
+	Anomalous bool
+}
+
+// PeriodDetector flags arrivals that break an object's established
+// request period. Construct one per periodic object (the periodicity
+// analysis supplies the expected period). PeriodDetector is not safe
+// for concurrent use.
+type PeriodDetector struct {
+	// Expected is the object's established period; required, > 0.
+	Expected time.Duration
+	// Tolerance is the accepted relative deviation (default 0.25 via
+	// NewPeriodDetector).
+	Tolerance float64
+
+	last map[flows.ClientKey]time.Time
+}
+
+// NewPeriodDetector returns a detector for the given period with a 25%
+// tolerance, roughly twice the jitter the paper's 1 s sampling absorbs.
+func NewPeriodDetector(expected time.Duration) *PeriodDetector {
+	return &PeriodDetector{
+		Expected:  expected,
+		Tolerance: 0.25,
+		last:      make(map[flows.ClientKey]time.Time),
+	}
+}
+
+// Observe checks one arrival for the client and updates its state.
+func (d *PeriodDetector) Observe(client flows.ClientKey, at time.Time) PeriodVerdict {
+	if d.last == nil {
+		d.last = make(map[flows.ClientKey]time.Time)
+	}
+	var v PeriodVerdict
+	if prev, ok := d.last[client]; ok && d.Expected > 0 {
+		gap := at.Sub(prev).Seconds()
+		p := d.Expected.Seconds()
+		// Arrivals an integer number of periods apart are fine (missed
+		// polls are not deviations, just gaps); measure distance to the
+		// nearest multiple.
+		k := math.Round(gap / p)
+		if k < 1 {
+			k = 1
+		}
+		v.Deviation = math.Abs(gap-k*p) / p
+		v.Anomalous = v.Deviation > d.Tolerance
+	}
+	d.last[client] = at
+	return v
+}
+
+// Reset clears a client's timing state (e.g. after a known restart).
+func (d *PeriodDetector) Reset(client flows.ClientKey) {
+	delete(d.last, client)
+}

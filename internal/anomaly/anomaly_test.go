@@ -1,0 +1,199 @@
+package anomaly
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+)
+
+var t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(client uint64, url string, at time.Time) logfmt.Record {
+	return logfmt.Record{
+		Time: at, ClientID: client, Method: "GET", URL: url,
+		UserAgent: "App/1.0 (iPhone)", MIMEType: "application/json",
+		Status: 200, Bytes: 100, Cache: logfmt.CacheHit,
+	}
+}
+
+func trainedModel() *ngram.Model {
+	m := ngram.NewModel(1)
+	chain := []string{"https://x.com/a", "https://x.com/b", "https://x.com/c", "https://x.com/d"}
+	for i := 0; i < 50; i++ {
+		m.Train(chain)
+	}
+	return m
+}
+
+func TestRequestDetectorNormalFlow(t *testing.T) {
+	d := NewRequestDetector(trainedModel())
+	urls := []string{"https://x.com/a", "https://x.com/b", "https://x.com/c", "https://x.com/d"}
+	for i, u := range urls {
+		r := rec(1, u, t0.Add(time.Duration(i)*time.Second))
+		v := d.Observe(&r)
+		if v.Anomalous {
+			t.Errorf("normal request %d flagged (score %v)", i, v.Score)
+		}
+	}
+}
+
+func TestRequestDetectorFlagsUnlikely(t *testing.T) {
+	d := NewRequestDetector(trainedModel())
+	urls := []string{"https://x.com/a", "https://x.com/b", "https://x.com/c"}
+	for i, u := range urls {
+		r := rec(1, u, t0.Add(time.Duration(i)*time.Second))
+		d.Observe(&r)
+	}
+	odd := rec(1, "https://evil.example.com/exfil", t0.Add(10*time.Second))
+	v := d.Observe(&odd)
+	if !v.Anomalous || v.Score != 0 {
+		t.Errorf("unseen URL verdict = %+v", v)
+	}
+}
+
+func TestRequestDetectorColdStartSuppressed(t *testing.T) {
+	d := NewRequestDetector(trainedModel())
+	odd := rec(2, "https://evil.example.com/first", t0)
+	if v := d.Observe(&odd); v.Anomalous {
+		t.Errorf("first-ever request flagged: %+v", v)
+	}
+}
+
+func TestRequestDetectorPerClientHistory(t *testing.T) {
+	d := NewRequestDetector(trainedModel())
+	// Client 1 builds history; client 2 is fresh — verdicts must not
+	// leak across clients.
+	for i, u := range []string{"https://x.com/a", "https://x.com/b", "https://x.com/c"} {
+		r := rec(1, u, t0.Add(time.Duration(i)*time.Second))
+		d.Observe(&r)
+	}
+	fresh := rec(2, "https://x.com/zzz", t0.Add(time.Minute))
+	if v := d.Observe(&fresh); v.Anomalous {
+		t.Errorf("fresh client flagged: %+v", v)
+	}
+}
+
+func TestPeriodDetectorSteadyPolling(t *testing.T) {
+	d := NewPeriodDetector(30 * time.Second)
+	client := flows.ClientKey{ClientID: 1}
+	at := t0
+	for i := 0; i < 10; i++ {
+		v := d.Observe(client, at)
+		if v.Anomalous {
+			t.Errorf("steady poll %d flagged: %+v", i, v)
+		}
+		at = at.Add(30*time.Second + 500*time.Millisecond)
+	}
+}
+
+func TestPeriodDetectorFlagsBurst(t *testing.T) {
+	d := NewPeriodDetector(30 * time.Second)
+	client := flows.ClientKey{ClientID: 1}
+	d.Observe(client, t0)
+	d.Observe(client, t0.Add(30*time.Second))
+	v := d.Observe(client, t0.Add(34*time.Second)) // 4s gap, way off period
+	if !v.Anomalous {
+		t.Errorf("burst not flagged: %+v", v)
+	}
+}
+
+func TestPeriodDetectorToleratesMissedPolls(t *testing.T) {
+	d := NewPeriodDetector(30 * time.Second)
+	client := flows.ClientKey{ClientID: 1}
+	d.Observe(client, t0)
+	// Two missed polls: 90 s gap = 3 periods exactly.
+	v := d.Observe(client, t0.Add(90*time.Second))
+	if v.Anomalous {
+		t.Errorf("integer-multiple gap flagged: %+v", v)
+	}
+}
+
+func TestPeriodDetectorFirstArrival(t *testing.T) {
+	d := NewPeriodDetector(time.Minute)
+	v := d.Observe(flows.ClientKey{ClientID: 9}, t0)
+	if v.Anomalous || v.Deviation != 0 {
+		t.Errorf("first arrival verdict = %+v", v)
+	}
+}
+
+func TestPeriodDetectorReset(t *testing.T) {
+	d := NewPeriodDetector(30 * time.Second)
+	client := flows.ClientKey{ClientID: 1}
+	d.Observe(client, t0)
+	d.Reset(client)
+	// After reset, an odd gap is a first arrival again.
+	v := d.Observe(client, t0.Add(7*time.Second))
+	if v.Anomalous {
+		t.Errorf("post-reset arrival flagged: %+v", v)
+	}
+}
+
+func TestPeriodDetectorPerClientIsolation(t *testing.T) {
+	d := NewPeriodDetector(30 * time.Second)
+	a := flows.ClientKey{ClientID: 1}
+	b := flows.ClientKey{ClientID: 2}
+	d.Observe(a, t0)
+	// Client b's first arrival lands 3 s after a's — must not alarm.
+	if v := d.Observe(b, t0.Add(3*time.Second)); v.Anomalous {
+		t.Errorf("cross-client timing leak: %+v", v)
+	}
+}
+
+func TestRequestDetectorClusteredMode(t *testing.T) {
+	// Train on templates; per-client IDs in the raw URLs must not alarm,
+	// because clustering folds them onto the learned templates.
+	m := ngram.NewModel(1)
+	for i := 0; i < 20; i++ {
+		m.Train([]string{
+			"https://x.com/v1/feed/{num}",
+			"https://x.com/v1/article/{num}",
+			"https://x.com/v1/article/{num}",
+		})
+	}
+	d := NewRequestDetector(m)
+	d.Clustered = true
+	urls := []string{
+		"https://x.com/v1/feed/0",
+		"https://x.com/v1/article/1001",
+		"https://x.com/v1/article/1002",
+		"https://x.com/v1/article/1003",
+		"https://x.com/v1/article/1004",
+	}
+	for i, u := range urls {
+		r := rec(5, u, t0.Add(time.Duration(i)*time.Second))
+		if v := d.Observe(&r); v.Anomalous {
+			t.Errorf("templated request %d flagged: %+v", i, v)
+		}
+	}
+	odd := rec(5, "https://evil.example.com/exfil/9999", t0.Add(time.Minute))
+	if v := d.Observe(&odd); !v.Anomalous {
+		t.Errorf("foreign template not flagged: %+v", v)
+	}
+}
+
+func TestRequestDetectorColdFlowSuppressed(t *testing.T) {
+	// A client whose whole flow is unknown to the model must not alarm
+	// on every request (self-normalization).
+	d := NewRequestDetector(trainedModel())
+	alarms := 0
+	for i := 0; i < 20; i++ {
+		r := rec(9, "https://untrained.example.com/x"+string(rune('a'+i)), t0.Add(time.Duration(i)*time.Second))
+		if d.Observe(&r).Anomalous {
+			alarms++
+		}
+	}
+	if alarms != 0 {
+		t.Errorf("cold flow produced %d alarms", alarms)
+	}
+}
+
+func TestZeroValueDetectorsUsable(t *testing.T) {
+	rd := &RequestDetector{Model: trainedModel(), Threshold: 1e-3, MinHistory: 1}
+	r := rec(1, "https://x.com/a", t0)
+	rd.Observe(&r) // must not panic with nil map
+	pd := &PeriodDetector{Expected: time.Minute, Tolerance: 0.25}
+	pd.Observe(flows.ClientKey{ClientID: 1}, t0)
+}

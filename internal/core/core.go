@@ -1,0 +1,141 @@
+// Package core ties the substrates together: it abstracts where a log
+// stream comes from (a file, memory, or the synthetic generator), runs
+// one or many observers over a single pass, and fans records out across
+// CPU cores for observers that support sharded aggregation. The
+// experiment runners and the cmd/ tools are thin wrappers over this
+// package.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/logfmt"
+	"repro/internal/synth"
+)
+
+// Source yields a stream of log records. The *logfmt.Record passed to
+// the callback may be reused between calls; observers must copy any
+// retained fields. Each returns the callback's first error.
+type Source interface {
+	Each(fn func(*logfmt.Record) error) error
+}
+
+// MemorySource serves records from a slice.
+type MemorySource []logfmt.Record
+
+// Each implements Source.
+func (m MemorySource) Each(fn func(*logfmt.Record) error) error {
+	for i := range m {
+		if err := fn(&m[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileSource streams records from a log file (TSV or JSON Lines,
+// optionally gzipped; the format is inferred from the extension).
+type FileSource string
+
+// Each implements Source.
+func (f FileSource) Each(fn func(*logfmt.Record) error) error {
+	rd, closer, err := logfmt.OpenFile(string(f))
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	return rd.ForEach(fn)
+}
+
+// SynthSource generates records on the fly from a synth.Config; no
+// dataset is materialized.
+type SynthSource synth.Config
+
+// Each implements Source.
+func (s SynthSource) Each(fn func(*logfmt.Record) error) error {
+	return synth.Generate(synth.Config(s), fn)
+}
+
+// Collect materializes a source into memory. Analyses that need
+// multiple passes (prefetch comparison, train/test workflows) collect
+// once and reuse the slice.
+func Collect(src Source) ([]logfmt.Record, error) {
+	var out []logfmt.Record
+	err := src.Each(func(r *logfmt.Record) error {
+		out = append(out, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Observer consumes records one at a time.
+type Observer interface {
+	Observe(r *logfmt.Record)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(*logfmt.Record)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(r *logfmt.Record) { f(r) }
+
+// Run streams the source once through every observer in order.
+func Run(src Source, obs ...Observer) error {
+	return src.Each(func(r *logfmt.Record) error {
+		for _, o := range obs {
+			o.Observe(r)
+		}
+		return nil
+	})
+}
+
+// RunParallel fans records out to per-worker observers (created by
+// newShard) partitioned by client ID, so every client's records are seen
+// in order by exactly one shard; merge receives all shards when the
+// stream ends. Aggregations with a Merge operation (e.g.
+// taxonomy.Characterization) use this to use all cores on large files.
+//
+// Partitioning by client keeps per-client analyses (flows, sequences)
+// correct under parallelism; analyses requiring global order should use
+// Run instead.
+func RunParallel[T Observer](src Source, workers int, newShard func() T, merge func([]T)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]T, workers)
+	chans := make([]chan logfmt.Record, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		shards[i] = newShard()
+		chans[i] = make(chan logfmt.Record, 1024)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rec := range chans[i] {
+				shards[i].Observe(&rec)
+			}
+		}(i)
+	}
+	err := src.Each(func(r *logfmt.Record) error {
+		w := int(r.ClientID % uint64(workers))
+		chans[w] <- *r
+		return nil
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return fmt.Errorf("core: parallel run: %w", err)
+	}
+	merge(shards)
+	return nil
+}

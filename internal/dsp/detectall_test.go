@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDetectAllSinglePeriod(t *testing.T) {
+	rng := stats.NewRNG(1)
+	x := periodicSignal(600, 30, false, nil)
+	dets, err := DetectAll(x, DefaultDetectorConfig(), rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("no periods detected")
+	}
+	// The strongest detection is (a harmonic family of) 30; all others
+	// must have been grouped away or be unrelated noise-free peaks.
+	if dets[0].Period%30 != 0 && 30%dets[0].Period != 0 {
+		t.Errorf("top period %d unrelated to 30", dets[0].Period)
+	}
+	for i := 1; i < len(dets); i++ {
+		if isHarmonicOfAny(dets[i].Period, dets[:i]) {
+			t.Errorf("detection %d (lag %d) is a harmonic of an earlier one", i, dets[i].Period)
+		}
+	}
+}
+
+func TestDetectAllTwoIndependentPeriods(t *testing.T) {
+	rng := stats.NewRNG(2)
+	// Planted periods 20 and 33 (not harmonically related: 33/20=1.65).
+	x := make([]float64, 1320)
+	for i := 0; i < len(x); i += 20 {
+		x[i] += 2
+	}
+	for i := 0; i < len(x); i += 33 {
+		x[i] += 2
+	}
+	dets, err := DetectAll(x, DefaultDetectorConfig(), rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found20, found33 := false, false
+	for _, d := range dets {
+		if d.Period >= 19 && d.Period <= 21 {
+			found20 = true
+		}
+		if d.Period >= 32 && d.Period <= 34 {
+			found33 = true
+		}
+	}
+	if !found20 || !found33 {
+		t.Errorf("periods found: %+v; want both 20 and 33", dets)
+	}
+}
+
+func TestDetectAllMaxPeriodsCap(t *testing.T) {
+	rng := stats.NewRNG(3)
+	x := make([]float64, 1320)
+	for i := 0; i < len(x); i += 20 {
+		x[i] += 2
+	}
+	for i := 0; i < len(x); i += 33 {
+		x[i] += 2
+	}
+	dets, err := DetectAll(x, DefaultDetectorConfig(), rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Errorf("cap ignored: %d detections", len(dets))
+	}
+}
+
+func TestDetectAllNoise(t *testing.T) {
+	rng := stats.NewRNG(4)
+	x := make([]float64, 600)
+	for i := range x {
+		if rng.Bool(0.05) {
+			x[i] = 1
+		}
+	}
+	dets, err := DetectAll(x, DefaultDetectorConfig(), rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) > 1 {
+		t.Errorf("noise produced %d periods", len(dets))
+	}
+}
+
+func TestDetectAllErrors(t *testing.T) {
+	rng := stats.NewRNG(5)
+	if _, err := DetectAll(nil, DefaultDetectorConfig(), rng, 0); err == nil {
+		t.Error("empty signal accepted")
+	}
+}
+
+func TestIsHarmonicOfAny(t *testing.T) {
+	kept := []Detection{{Period: 30}}
+	cases := map[int]bool{
+		30: true, 60: true, 90: true, 15: true, 10: true,
+		61: true,  // within 10% of 2x
+		33: true,  // within 10% of 1x
+		44: false, // 1.47x
+		50: false, // 1.67x
+	}
+	for lag, want := range cases {
+		if got := isHarmonicOfAny(lag, kept); got != want {
+			t.Errorf("isHarmonicOfAny(%d) = %v, want %v", lag, got, want)
+		}
+	}
+	if isHarmonicOfAny(30, nil) {
+		t.Error("empty kept should never match")
+	}
+}

@@ -1,0 +1,58 @@
+package edge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := NewCache(1<<24, time.Hour, 8)
+	c.Insert("k", 100, t0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup("k", t0)
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := NewCache(1<<16, time.Hour, 4)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("https://x.com/obj/%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(keys[i%len(keys)], 256, t0, false)
+	}
+}
+
+func BenchmarkPoolRoute(b *testing.B) {
+	p := NewPool(8, 1<<20, time.Minute)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Route("https://x.com/v1/article/1234")
+	}
+}
+
+func BenchmarkPoolReplay(b *testing.B) {
+	p := NewPool(4, 1<<24, time.Minute)
+	recs := make([]struct {
+		url string
+		at  time.Time
+	}, 1024)
+	for i := range recs {
+		recs[i].url = fmt.Sprintf("https://x.com/obj/%d", i%128)
+		recs[i].at = t0.Add(time.Duration(i) * time.Second)
+	}
+	var res ReplayResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := recs[i%len(recs)]
+		r := replayRec(e.url, 1, e.at)
+		p.Replay(&r, &res)
+	}
+}

@@ -1,0 +1,216 @@
+// Package edge simulates a CDN edge: a sharded in-memory LRU cache with
+// TTL expiry, a consistent-hash pool of edge servers, an origin model,
+// and a log replayer that measures the cache behavior of a request
+// stream. It closes the loop on the paper's §5.2 implication — that
+// ngram-predicted prefetching can improve the cache hit ratio — by
+// actually running predicted prefetches against the simulated edge
+// (internal/prefetch). It also provides a real net/http caching proxy
+// used by the liveedge example.
+package edge
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// CacheMetrics counts cache outcomes. Retrieve a consistent snapshot
+// with Cache.Metrics.
+type CacheMetrics struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Expired   int64
+	// PrefetchedHits counts hits whose entry was inserted by a prefetch
+	// rather than on demand.
+	PrefetchedHits int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 when empty.
+func (m CacheMetrics) HitRatio() float64 {
+	tot := m.Hits + m.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(tot)
+}
+
+// entry is one cached object.
+type entry struct {
+	key        string
+	size       int64
+	expires    time.Time
+	prefetched bool
+	elem       *list.Element
+}
+
+// Cache is a sharded LRU cache with per-entry TTL, keyed by URL.
+// Capacity is bounded by total byte size per shard. All methods are safe
+// for concurrent use.
+type Cache struct {
+	shards []*cacheShard
+	mask   uint64
+	ttl    time.Duration
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recent
+	capBytes int64
+	curBytes int64
+	metrics  CacheMetrics
+}
+
+// NewCache creates a cache with the given total byte capacity, TTL, and
+// shard count (rounded up to a power of two; values < 1 become 1).
+func NewCache(capacityBytes int64, ttl time.Duration, shards int) *Cache {
+	if capacityBytes <= 0 {
+		panic("edge: NewCache with non-positive capacity")
+	}
+	if ttl <= 0 {
+		panic("edge: NewCache with non-positive TTL")
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1), ttl: ttl}
+	per := capacityBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			entries:  make(map[string]*entry),
+			lru:      list.New(),
+			capBytes: per,
+		}
+	}
+	return c
+}
+
+// TTL returns the cache's entry lifetime.
+func (c *Cache) TTL() time.Duration { return c.ttl }
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum64()&c.mask]
+}
+
+// Lookup checks for key at the given simulated time. A hit refreshes
+// recency. Expired entries count as misses and are removed.
+func (c *Cache) Lookup(key string, now time.Time) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.metrics.Misses++
+		return false
+	}
+	if now.After(e.expires) {
+		s.remove(e)
+		s.metrics.Expired++
+		s.metrics.Misses++
+		return false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.metrics.Hits++
+	if e.prefetched {
+		s.metrics.PrefetchedHits++
+	}
+	return true
+}
+
+// Peek reports whether key is live at now without touching recency or
+// metrics; prefetchers use it to avoid duplicate speculative inserts.
+func (c *Cache) Peek(key string, now time.Time) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return ok && !now.After(e.expires)
+}
+
+// Insert stores key with the given body size, evicting LRU entries as
+// needed. prefetched marks entries inserted speculatively. Objects
+// larger than a shard's capacity are not cached.
+func (c *Cache) Insert(key string, size int64, now time.Time, prefetched bool) {
+	if size < 0 {
+		size = 0
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.capBytes {
+		return
+	}
+	if e, ok := s.entries[key]; ok {
+		s.curBytes += size - e.size
+		e.size = size
+		e.expires = now.Add(c.ttl)
+		e.prefetched = prefetched
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: key, size: size, expires: now.Add(c.ttl), prefetched: prefetched}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.curBytes += size
+	}
+	for s.curBytes > s.capBytes {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.remove(back.Value.(*entry))
+		s.metrics.Evictions++
+	}
+}
+
+// remove must be called with the shard lock held.
+func (s *cacheShard) remove(e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.key)
+	s.curBytes -= e.size
+}
+
+// Len returns the number of live entries (including not-yet-collected
+// expired ones).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the current cached byte total.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.curBytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Metrics returns a snapshot of aggregate cache metrics.
+func (c *Cache) Metrics() CacheMetrics {
+	var m CacheMetrics
+	for _, s := range c.shards {
+		s.mu.Lock()
+		m.Hits += s.metrics.Hits
+		m.Misses += s.metrics.Misses
+		m.Evictions += s.metrics.Evictions
+		m.Expired += s.metrics.Expired
+		m.PrefetchedHits += s.metrics.PrefetchedHits
+		s.mu.Unlock()
+	}
+	return m
+}

@@ -1,0 +1,214 @@
+package edge
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+// Origin supplies content for cache misses, abstracting the CDN
+// customer's infrastructure.
+type Origin interface {
+	// Fetch returns the response body, MIME type, and whether the
+	// object is configured cacheable.
+	Fetch(path string) (body []byte, mime string, cacheable bool, err error)
+}
+
+// HTTPEdge is a real net/http caching edge server: requests are served
+// from the embedded Cache when possible and fetched from the Origin
+// otherwise, and every request is logged as a logfmt.Record — the same
+// schema the analyses consume, so an HTTPEdge can feed its own traffic
+// into the characterization pipeline (the liveedge example does).
+// HTTPEdge is safe for concurrent use.
+type HTTPEdge struct {
+	// Cache is the edge cache; required.
+	Cache *Cache
+	// Origin supplies misses; required.
+	Origin Origin
+	// Log, if non-nil, receives a record per request. The record is
+	// freshly allocated per call and may be retained.
+	Log func(*logfmt.Record)
+	// Now supplies time (defaults to time.Now); tests override it.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	bodies map[string][]byte
+}
+
+const maxBodyStore = 1 << 16
+
+func (e *HTTPEdge) now() time.Time {
+	if e.Now != nil {
+		return e.Now()
+	}
+	return time.Now()
+}
+
+// ServeHTTP implements http.Handler.
+func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	now := e.now()
+	key := "http://" + r.Host + r.URL.String()
+	status := http.StatusOK
+	var body []byte
+	var mime string
+	cacheStatus := logfmt.CacheUncacheable
+
+	serveFromCache := r.Method == http.MethodGet && e.Cache.Lookup(key, now)
+	if serveFromCache {
+		e.mu.Lock()
+		cached, ok := e.bodies[key]
+		e.mu.Unlock()
+		if ok {
+			body, mime, cacheStatus = cached, "application/json", logfmt.CacheHit
+		} else {
+			serveFromCache = false // evicted body; refetch below
+		}
+	}
+	if !serveFromCache {
+		b, m, cacheable, err := e.Origin.Fetch(r.URL.Path)
+		if err != nil {
+			status = http.StatusNotFound
+			b, m = []byte(`{"error":"not found"}`), "application/json"
+			cacheable = false
+		}
+		body, mime = b, m
+		switch {
+		case !cacheable || r.Method != http.MethodGet:
+			cacheStatus = logfmt.CacheUncacheable
+		default:
+			cacheStatus = logfmt.CacheMiss
+			e.Cache.Insert(key, int64(len(body)), now, false)
+			e.mu.Lock()
+			if e.bodies == nil {
+				e.bodies = make(map[string][]byte)
+			}
+			if len(e.bodies) >= maxBodyStore {
+				e.bodies = make(map[string][]byte) // crude bound for the demo proxy
+			}
+			e.bodies[key] = body
+			e.mu.Unlock()
+		}
+	}
+
+	// Conditional requests: a matching If-None-Match short-circuits the
+	// body with 304, the validation flow real CDN edges serve for
+	// revalidating clients.
+	etag := etagFor(body)
+	if status == http.StatusOK && r.Header.Get("If-None-Match") == etag {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Cache", strings.ToUpper(cacheStatus.String()))
+		w.WriteHeader(http.StatusNotModified)
+		if e.Log != nil {
+			e.logRequest(r, now, mime, http.StatusNotModified, 0, cacheStatus)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", mime)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Cache", strings.ToUpper(cacheStatus.String()))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	if r.Method != http.MethodHead {
+		w.Write(body)
+	}
+
+	if e.Log != nil {
+		e.logRequest(r, now, mime, status, int64(len(body)), cacheStatus)
+	}
+}
+
+func (e *HTTPEdge) logRequest(r *http.Request, now time.Time, mime string, status int, size int64, cache logfmt.CacheStatus) {
+	host, _, _ := strings.Cut(r.RemoteAddr, ":")
+	e.Log(&logfmt.Record{
+		Time:      now,
+		ClientID:  logfmt.HashClientIP(host),
+		Method:    r.Method,
+		URL:       "http://" + r.Host + r.URL.String(),
+		UserAgent: r.UserAgent(),
+		MIMEType:  mime,
+		Status:    status,
+		Bytes:     size,
+		Cache:     cache,
+	})
+}
+
+// etagFor derives a strong validator from the body.
+func etagFor(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf(`"%016x"`, h.Sum64())
+}
+
+// JSONOrigin is a synthetic origin that serves the manifest pattern of
+// the paper's Table 1: /stories returns a JSON manifest referencing
+// /article/<id> objects, which return article bodies. Telemetry paths
+// under /ingest/ accept POSTs and are uncacheable. JSONOrigin is safe
+// for concurrent use.
+type JSONOrigin struct {
+	// Articles is the number of article objects (default 100).
+	Articles int
+	// Latency simulates origin round-trip delay per fetch.
+	Latency time.Duration
+}
+
+func (o *JSONOrigin) articles() int {
+	if o.Articles <= 0 {
+		return 100
+	}
+	return o.Articles
+}
+
+// Fetch implements Origin.
+func (o *JSONOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	if o.Latency > 0 {
+		time.Sleep(o.Latency)
+	}
+	switch {
+	case path == "/stories":
+		type story struct {
+			ID    int    `json:"article_id"`
+			Title string `json:"article_title"`
+			Image string `json:"image_url"`
+		}
+		n := o.articles()
+		list := make([]story, 0, 10)
+		for i := 0; i < 10 && i < n; i++ {
+			list = append(list, story{
+				ID:    1000 + i,
+				Title: fmt.Sprintf("Story %d", i),
+				Image: fmt.Sprintf("/media/image%d.jpg", 1000+i),
+			})
+		}
+		b, err := json.Marshal(list)
+		return b, "application/json", true, err
+	case strings.HasPrefix(path, "/article/"):
+		idStr := strings.TrimPrefix(path, "/article/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 1000 || id >= 1000+o.articles() {
+			return nil, "", false, fmt.Errorf("edge: no article %q", idStr)
+		}
+		doc := map[string]interface{}{
+			"article": fmt.Sprintf("Lorem ipsum dolor %d...", id),
+			"video":   fmt.Sprintf("/media/video%d.mp4", id),
+			"images":  []string{fmt.Sprintf("/media/image%d.jpg", id)},
+		}
+		b, err := json.Marshal(doc)
+		return b, "application/json", true, err
+	case strings.HasPrefix(path, "/ingest/"):
+		return []byte(`{"ok":true}`), "application/json", false, nil
+	case strings.HasPrefix(path, "/profile/"):
+		// Personalized: uncacheable.
+		b := []byte(`{"user":"` + strings.TrimPrefix(path, "/profile/") + `","plan":"pro"}`)
+		return b, "application/json", false, nil
+	default:
+		return nil, "", false, fmt.Errorf("edge: no route %q", path)
+	}
+}

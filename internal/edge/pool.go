@@ -1,0 +1,167 @@
+package edge
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+// Server is one simulated edge server with its own cache.
+type Server struct {
+	// Name identifies the server ("sea-01").
+	Name  string
+	Cache *Cache
+
+	// Requests counts requests routed to this server.
+	Requests int64
+}
+
+// Pool routes requests across edge servers with consistent hashing over
+// the object URL, as a CDN front-ends a rack: the same object always
+// lands on the same server, maximizing its cache utility. Pool routing
+// is safe for concurrent use; the per-server request counter is not a
+// synchronized hot path and is only approximate under concurrency.
+type Pool struct {
+	servers []*Server
+	ring    []ringPoint
+
+	// Admission optionally gates cache insertion on miss: when non-nil
+	// and false for a URL, the response is served from origin but not
+	// cached. CDNs use this to keep one-hit wonders from churning the
+	// cache (see SecondHitFilter). Not safe for concurrent Replay unless
+	// the filter itself is.
+	Admission func(url string) bool
+}
+
+// SecondHitFilter returns an admission filter implementing the classic
+// "cache on second hit" policy: a URL is admitted only once it has been
+// requested before, so objects fetched exactly once never displace
+// recurring ones. The filter is not safe for concurrent use.
+func SecondHitFilter() func(url string) bool {
+	seen := make(map[string]struct{})
+	return func(url string) bool {
+		if _, ok := seen[url]; ok {
+			return true
+		}
+		seen[url] = struct{}{}
+		return false
+	}
+}
+
+type ringPoint struct {
+	hash uint64
+	srv  *Server
+}
+
+// vnodesPerServer spreads each server over the ring for balance.
+const vnodesPerServer = 64
+
+// NewPool creates n servers, each with a cache of capacityBytes and the
+// given TTL.
+func NewPool(n int, capacityBytes int64, ttl time.Duration) *Pool {
+	if n <= 0 {
+		panic("edge: NewPool with n <= 0")
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		srv := &Server{
+			Name:  fmt.Sprintf("edge-%02d", i),
+			Cache: NewCache(capacityBytes, ttl, 4),
+		}
+		p.servers = append(p.servers, srv)
+		h := fnv.New64a()
+		h.Write([]byte(srv.Name))
+		base := h.Sum64()
+		for v := 0; v < vnodesPerServer; v++ {
+			// splitmix64 spreads vnodes uniformly; raw FNV of similar
+			// strings clusters on the ring.
+			x := base + uint64(v)*0x9e3779b97f4a7c15
+			x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+			x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+			x ^= x >> 31
+			p.ring = append(p.ring, ringPoint{hash: x, srv: srv})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	return p
+}
+
+// Servers returns the pool's servers.
+func (p *Pool) Servers() []*Server { return p.servers }
+
+// Route returns the server responsible for the URL.
+func (p *Pool) Route(url string) *Server {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	key := h.Sum64()
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= key })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].srv
+}
+
+// Metrics aggregates cache metrics across servers.
+func (p *Pool) Metrics() CacheMetrics {
+	var m CacheMetrics
+	for _, s := range p.servers {
+		sm := s.Cache.Metrics()
+		m.Hits += sm.Hits
+		m.Misses += sm.Misses
+		m.Evictions += sm.Evictions
+		m.Expired += sm.Expired
+		m.PrefetchedHits += sm.PrefetchedHits
+	}
+	return m
+}
+
+// ReplayResult summarizes a log replay through the edge.
+type ReplayResult struct {
+	Requests    int64
+	Cacheable   int64
+	Uncacheable int64
+	Hits        int64
+	// OriginBytes is the traffic fetched from origin (misses and
+	// uncacheable tunnels).
+	OriginBytes int64
+	// ServedBytes is the total response traffic.
+	ServedBytes int64
+}
+
+// HitRatio returns hits over cacheable requests.
+func (r ReplayResult) HitRatio() float64 {
+	if r.Cacheable == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Cacheable)
+}
+
+// Replay streams one record through the pool: uncacheable requests
+// tunnel to origin; cacheable GETs consult the responsible server's
+// cache and insert on miss. The record's own Cache field is ignored —
+// the simulation recomputes hits from its cache state — except that
+// CacheUncacheable marks the object uncacheable.
+func (p *Pool) Replay(r *logfmt.Record, res *ReplayResult) {
+	res.Requests++
+	res.ServedBytes += r.Bytes
+	srv := p.Route(r.URL)
+	srv.Requests++
+	if r.Cache == logfmt.CacheUncacheable || r.Method != "GET" {
+		res.Uncacheable++
+		res.OriginBytes += r.Bytes
+		return
+	}
+	res.Cacheable++
+	if srv.Cache.Lookup(r.URL, r.Time) {
+		res.Hits++
+		return
+	}
+	res.OriginBytes += r.Bytes
+	if p.Admission != nil && !p.Admission(r.URL) {
+		return
+	}
+	srv.Cache.Insert(r.URL, r.Bytes, r.Time, false)
+}

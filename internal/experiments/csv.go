@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV exports each exhibit's data series from a completed report as
+// CSV files under dir (created if absent), so the figures can be
+// re-plotted with external tooling.
+func WriteCSV(dir string, rep *Report) error {
+	if rep == nil {
+		return fmt.Errorf("experiments: nil report")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string][][]string{
+		"figure1.csv":      figure1CSV(rep),
+		"figure3.csv":      figure3CSV(rep),
+		"figure4.csv":      figure4CSV(rep),
+		"figure5.csv":      figure5CSV(rep),
+		"figure6.csv":      figure6CSV(rep),
+		"table3.csv":       table3CSV(rep),
+		"prefetch.csv":     prefetchCSV(rep),
+		"deprioritize.csv": deprioritizeCSV(rep),
+	}
+	for name, rows := range files {
+		if err := writeCSVFile(filepath.Join(dir, name), rows); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func figure1CSV(rep *Report) [][]string {
+	rows := [][]string{{"month", "json_requests", "html_requests", "ratio", "json_mean_bytes"}}
+	for _, m := range rep.Figure1.Months {
+		rows = append(rows, []string{
+			m.Month.Format("2006-01"),
+			strconv.FormatInt(m.JSONRequests, 10),
+			strconv.FormatInt(m.HTMLRequests, 10),
+			f64(m.Ratio()),
+			f64(m.JSONMeanBytes),
+		})
+	}
+	return rows
+}
+
+func figure3CSV(rep *Report) [][]string {
+	return [][]string{
+		{"device", "share"},
+		{"mobile", f64(rep.Figure3.MobileShare)},
+		{"unknown", f64(rep.Figure3.UnknownShare)},
+		{"embedded", f64(rep.Figure3.EmbeddedShare)},
+		{"desktop", f64(rep.Figure3.DesktopShare)},
+	}
+}
+
+func figure4CSV(rep *Report) [][]string {
+	rows := [][]string{{"category", "bucket", "share_of_domains"}}
+	m := rep.Figure4.Heatmap
+	if m == nil {
+		return rows
+	}
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			rows = append(rows, []string{m.RowLabels[r], m.ColLabels[c], f64(m.At(r, c))})
+		}
+	}
+	return rows
+}
+
+func figure5CSV(rep *Report) [][]string {
+	rows := [][]string{{"period_upper_edge_seconds", "objects"}}
+	if rep.Periods == nil || rep.Periods.Histogram == nil {
+		return rows
+	}
+	h := rep.Periods.Histogram
+	for i := 0; i < h.NumBins(); i++ {
+		rows = append(rows, []string{f64(h.Edge(i)), strconv.FormatInt(h.Count(i), 10)})
+	}
+	return rows
+}
+
+func figure6CSV(rep *Report) [][]string {
+	rows := [][]string{{"periodic_client_share", "cdf"}}
+	if rep.Periods == nil {
+		return rows
+	}
+	for _, p := range rep.Periods.Analysis.PeriodicClientCDF().Points(50) {
+		rows = append(rows, []string{f64(p.X), f64(p.Y)})
+	}
+	return rows
+}
+
+func table3CSV(rep *Report) [][]string {
+	rows := [][]string{{"k", "clustered_accuracy", "actual_accuracy"}}
+	ks := make([]int, 0, len(rep.Table3.Actual))
+	for k := range rep.Table3.Actual {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		rows = append(rows, []string{
+			strconv.Itoa(k),
+			f64(rep.Table3.Clustered[k]),
+			f64(rep.Table3.Actual[k]),
+		})
+	}
+	return rows
+}
+
+func prefetchCSV(rep *Report) [][]string {
+	rows := [][]string{{"configuration", "hit_ratio", "waste"}}
+	rows = append(rows, []string{"baseline", f64(rep.Prefetch.BaselineHitRatio), ""})
+	rows = append(rows, []string{"prefetch_k1", f64(rep.Prefetch.PrefetchHitRatio), f64(rep.Prefetch.Waste)})
+	ks := make([]int, 0, len(rep.Prefetch.KSweep))
+	for k := range rep.Prefetch.KSweep {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		v := rep.Prefetch.KSweep[k]
+		rows = append(rows, []string{fmt.Sprintf("prefetch_k%d", k), f64(v[0]), f64(v[1])})
+	}
+	return rows
+}
+
+func deprioritizeCSV(rep *Report) [][]string {
+	rows := [][]string{{"discipline", "class", "mean_wait_s", "p50_s", "p95_s", "p99_s"}}
+	add := func(d, c string, s interface {
+		Mean() float64
+	}, p50, p95, p99 float64) {
+		rows = append(rows, []string{d, c, f64(s.Mean()), f64(p50), f64(p95), f64(p99)})
+	}
+	fifo, prio := rep.Deprioritize.FIFO, rep.Deprioritize.Priority
+	add("fifo", "human", &fifo.Human.Wait, fifo.Human.P50, fifo.Human.P95, fifo.Human.P99)
+	add("fifo", "machine", &fifo.Machine.Wait, fifo.Machine.P50, fifo.Machine.P95, fifo.Machine.P99)
+	add("priority", "human", &prio.Human.Wait, prio.Human.P50, prio.Human.P95, prio.Human.P99)
+	add("priority", "machine", &prio.Machine.Wait, prio.Machine.P50, prio.Machine.P95, prio.Machine.P99)
+	return rows
+}

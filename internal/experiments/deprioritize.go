@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// DeprioritizeResult carries the §7-implication experiment: the latency
+// effect of deprioritizing machine-to-machine traffic at the edge.
+type DeprioritizeResult struct {
+	FIFO, Priority sched.Result
+	// HumanP95Improvement is the relative reduction of the human p95
+	// queueing delay under priority scheduling.
+	HumanP95Improvement float64
+	// MachineShare is the fraction of requests classified machine.
+	MachineShare float64
+}
+
+// Deprioritize evaluates the paper's suggested optimization: serve
+// human-triggered requests ahead of machine-to-machine requests. The
+// machine set comes from the §5.1 periodicity analysis (the paper's own
+// identification method); service times derive from response sizes, and
+// the worker pool is sized so the edge runs hot (~85% utilization),
+// where scheduling policy matters.
+func (r *Runner) Deprioritize(w io.Writer) (DeprioritizeResult, error) {
+	w = out(w)
+	recs, err := r.PatternRecords()
+	if err != nil {
+		return DeprioritizeResult{}, err
+	}
+	periods, err := r.periodicity()
+	if err != nil {
+		return DeprioritizeResult{}, err
+	}
+	machineURLs := make(map[string]bool)
+	for _, o := range periods.Analysis.PeriodicObjects() {
+		machineURLs[o.URL] = true
+	}
+
+	var reqs []sched.Request
+	var totalService time.Duration
+	var machine int
+	var first, last time.Time
+	for i := range recs {
+		rec := &recs[i]
+		if !rec.IsJSON() {
+			continue
+		}
+		svc := serviceTime(rec)
+		class := sched.ClassHuman
+		if machineURLs[logfmt.CanonicalURL(rec.URL)] {
+			class = sched.ClassMachine
+			machine++
+		}
+		reqs = append(reqs, sched.Request{Arrival: rec.Time, Service: svc, Class: class})
+		totalService += svc
+		if first.IsZero() || rec.Time.Before(first) {
+			first = rec.Time
+		}
+		if rec.Time.After(last) {
+			last = rec.Time
+		}
+	}
+	if len(reqs) == 0 {
+		return DeprioritizeResult{}, fmt.Errorf("experiments: no JSON requests for scheduling")
+	}
+	// Scale service times so the two-worker edge runs hot (~85%
+	// utilization): scheduling policy only matters under contention, and
+	// the scaled dataset's absolute load is arbitrary anyway.
+	const workers = 2
+	const targetUtil = 0.85
+	span := last.Sub(first)
+	factor := targetUtil * span.Seconds() * workers / totalService.Seconds()
+	for i := range reqs {
+		reqs[i].Service = time.Duration(float64(reqs[i].Service) * factor)
+	}
+
+	fifo, prio, err := sched.Compare(reqs, workers)
+	if err != nil {
+		return DeprioritizeResult{}, err
+	}
+	res := DeprioritizeResult{
+		FIFO:         fifo,
+		Priority:     prio,
+		MachineShare: float64(machine) / float64(len(reqs)),
+	}
+	if fifo.Human.P95 > 0 {
+		res.HumanP95Improvement = 1 - prio.Human.P95/fifo.Human.P95
+	}
+
+	fmt.Fprintln(w, "Deprioritizing machine-to-machine traffic (§7 implication)")
+	fmt.Fprintf(w, "  %d JSON requests, %.1f%% machine-classified, %d workers, utilization %.0f%%\n",
+		len(reqs), res.MachineShare*100, workers, fifo.Utilization*100)
+	var tb stats.Table
+	tb.SetHeader("Discipline", "Class", "mean wait", "p50", "p95", "p99")
+	row := func(d string, label string, cs sched.ClassStats) {
+		tb.AddRowf(d, label,
+			fmtSec(cs.Wait.Mean()), fmtSec(cs.P50), fmtSec(cs.P95), fmtSec(cs.P99))
+	}
+	row("fifo", "human", fifo.Human)
+	row("fifo", "machine", fifo.Machine)
+	row("priority", "human", prio.Human)
+	row("priority", "machine", prio.Machine)
+	fmt.Fprint(w, tb.String())
+	compareRow(w, "human p95 wait reduction under priority", "qualitative",
+		pct(res.HumanP95Improvement))
+	return res, nil
+}
+
+func serviceTime(r *logfmt.Record) time.Duration {
+	// A request costs a fixed CPU overhead plus a size-proportional
+	// component; §4 notes the CPU cost-per-byte grows as JSON responses
+	// shrink, i.e. the fixed part dominates for small objects. The
+	// absolute scale is normalized to the target utilization by the
+	// caller.
+	const fixed = 2 * time.Millisecond
+	perByte := time.Duration(r.Bytes) * 200 * time.Nanosecond
+	return fixed + perByte
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Figure1Result is the JSON:HTML ratio trend (Fig. 1) plus the §4 size
+// trend that shares the same counters.
+type Figure1Result struct {
+	Months []synth.MonthCounter
+	// StartRatio and EndRatio are the first and last months' JSON:HTML
+	// request ratios (paper: JSON ends >4x HTML).
+	StartRatio, EndRatio float64
+	// SizeShrink is the fractional decline of mean JSON response size
+	// over the window (paper: ~28% since 2016).
+	SizeShrink float64
+}
+
+// Figure1 regenerates Fig. 1: the monthly ratio of JSON to HTML requests
+// on the CDN from 2016 through the capture, from raw monthly counters.
+func (r *Runner) Figure1(w io.Writer) (Figure1Result, error) {
+	w = out(w)
+	months := synth.GenerateTrend(synth.DefaultTrendConfig(r.cfg.Seed))
+	if len(months) == 0 {
+		return Figure1Result{}, fmt.Errorf("experiments: empty trend")
+	}
+	res := Figure1Result{
+		Months:     months,
+		StartRatio: months[0].Ratio(),
+		EndRatio:   months[len(months)-1].Ratio(),
+	}
+	first, last := months[0], months[len(months)-1]
+	if first.JSONMeanBytes > 0 {
+		res.SizeShrink = 1 - last.JSONMeanBytes/first.JSONMeanBytes
+	}
+
+	fmt.Fprintln(w, "Figure 1: Ratio of JSON to HTML requests on the CDN")
+	pts := make([]stats.Point, len(months))
+	for i, m := range months {
+		pts[i] = stats.Point{X: float64(i), Y: m.Ratio()}
+	}
+	fmt.Fprint(w, stats.LineChart(pts, 60, 12))
+	fmt.Fprintf(w, "months: %s .. %s\n", first.Month.Format("2006-01"), last.Month.Format("2006-01"))
+	compareRow(w, "JSON:HTML ratio at end of window", ">4x", fmt.Sprintf("%.1fx", res.EndRatio))
+	compareRow(w, "mean JSON size decline since 2016", "~28%", pct(res.SizeShrink))
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report holds every experiment's structured result.
+type Report struct {
+	Figure1      Figure1Result
+	Table2       Table2Result
+	Figure3      Figure3Result
+	Figure4      Figure4Result
+	Periods      *PeriodicityResult
+	Table3       Table3Result
+	Prefetch     PrefetchResult
+	Deprioritize DeprioritizeResult
+	Anomaly      AnomalyResult
+	Regional     RegionalResult
+}
+
+// RunAll executes every experiment in paper order, writing the formatted
+// tables and figures to w.
+func (r *Runner) RunAll(w io.Writer) (*Report, error) {
+	w = out(w)
+	var rep Report
+	var err error
+
+	section := func(name string) {
+		fmt.Fprintf(w, "\n== %s ==\n", name)
+	}
+
+	section("Figure 1")
+	if rep.Figure1, err = r.Figure1(w); err != nil {
+		return nil, fmt.Errorf("figure 1: %w", err)
+	}
+	section("Table 2")
+	if rep.Table2, err = r.Table2(w); err != nil {
+		return nil, fmt.Errorf("table 2: %w", err)
+	}
+	section("Figure 3 and §4 request/response types")
+	if rep.Figure3, err = r.Figure3(w); err != nil {
+		return nil, fmt.Errorf("figure 3: %w", err)
+	}
+	section("Figure 4 and §4 cacheability")
+	if rep.Figure4, err = r.Figure4(w); err != nil {
+		return nil, fmt.Errorf("figure 4: %w", err)
+	}
+	section("Figure 5 and §5.1 periodicity")
+	if rep.Periods, err = r.Figure5(w); err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	section("Figure 6")
+	if _, err = r.Figure6(w); err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	section("Table 3 and §5.2 prediction")
+	if rep.Table3, err = r.Table3(w); err != nil {
+		return nil, fmt.Errorf("table 3: %w", err)
+	}
+	section("Prefetch simulation (§5.2 implication)")
+	if rep.Prefetch, err = r.Prefetch(w); err != nil {
+		return nil, fmt.Errorf("prefetch: %w", err)
+	}
+	section("Deprioritization (§7 implication)")
+	if rep.Deprioritize, err = r.Deprioritize(w); err != nil {
+		return nil, fmt.Errorf("deprioritize: %w", err)
+	}
+	section("Anomaly detection (§5 applications)")
+	if rep.Anomaly, err = r.Anomaly(w); err != nil {
+		return nil, fmt.Errorf("anomaly: %w", err)
+	}
+	section("Regional vantages (§7 limitation)")
+	if rep.Regional, err = r.Regional(w); err != nil {
+		return nil, fmt.Errorf("regional: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+	"repro/internal/stats"
+)
+
+// Table3Result carries the ngram prediction accuracies of Table 3.
+type Table3Result struct {
+	// Accuracy[clustered][k] for K in {1, 5, 10} at N = 1.
+	Clustered map[int]float64
+	Actual    map[int]float64
+	// N5Gain is the top-10 accuracy gain from N=5 over N=1 on actual
+	// URLs (paper: <= ~5%).
+	N5Gain float64
+	// Vocabulary sizes show how much clustering shrinks the URL space.
+	ActualVocab, ClusteredVocab int
+}
+
+// table3Ks are the K values the paper reports.
+var table3Ks = []int{1, 5, 10}
+
+// Table3 regenerates Table 3: backoff ngram top-K accuracy on actual and
+// clustered URLs with history N=1, plus the N=5 check. Only
+// application/json GET-dominated traffic enters the model, as in the
+// paper.
+func (r *Runner) Table3(w io.Writer) (Table3Result, error) {
+	w = out(w)
+	recs, err := r.PatternRecords()
+	if err != nil {
+		return Table3Result{}, err
+	}
+	res := Table3Result{
+		Clustered: map[int]float64{},
+		Actual:    map[int]float64{},
+	}
+
+	build := func(clustered bool) *ngram.Sequencer {
+		s := ngram.NewSequencer()
+		s.Clustered = clustered
+		s.Filter = logfmt.JSONOnly
+		for i := range recs {
+			s.Observe(&recs[i])
+		}
+		return s
+	}
+
+	actualSeq := build(false)
+	mActual, evalActual := actualSeq.TrainAndEvaluate(1, table3Ks)
+	for k, e := range evalActual {
+		res.Actual[k] = e.Accuracy()
+	}
+	res.ActualVocab = mActual.VocabSize()
+
+	clusteredSeq := build(true)
+	mClustered, evalClustered := clusteredSeq.TrainAndEvaluate(1, table3Ks)
+	for k, e := range evalClustered {
+		res.Clustered[k] = e.Accuracy()
+	}
+	res.ClusteredVocab = mClustered.VocabSize()
+
+	// N=5 check on actual URLs.
+	_, evalN5 := actualSeq.TrainAndEvaluate(5, []int{10})
+	res.N5Gain = evalN5[10].Accuracy() - res.Actual[10]
+
+	fmt.Fprintln(w, "Table 3: NGram model accuracy for URLs (history N=1)")
+	var tb stats.Table
+	tb.SetHeader("K", "Clustered URLs", "Actual URLs", "Paper (clustered)", "Paper (actual)")
+	paperClustered := map[int]string{1: ".65", 5: ".84", 10: ".87"}
+	paperActual := map[int]string{1: ".45", 5: ".64", 10: ".69"}
+	for _, k := range table3Ks {
+		tb.AddRowf(k,
+			fmt.Sprintf("%.2f", res.Clustered[k]),
+			fmt.Sprintf("%.2f", res.Actual[k]),
+			paperClustered[k], paperActual[k])
+	}
+	fmt.Fprint(w, tb.String())
+	compareRow(w, "N=5 top-10 gain over N=1 (actual URLs)", "<=5%", pct(res.N5Gain))
+	fmt.Fprintf(w, "  vocabulary: %d actual URLs -> %d clustered templates\n",
+		res.ActualVocab, res.ClusteredVocab)
+	return res, nil
+}

@@ -1,0 +1,263 @@
+// Package flows extracts request flows from CDN log streams.
+//
+// Following §5.1 of the paper: an *object flow* is the sequence of
+// requests made by all clients to one object (identified by its unique
+// URL); a *client-object flow* is the subsequence of an object flow
+// issued by one client, where a client is identified by a (user agent,
+// anonymized client IP) pair. To obtain significant results, the paper
+// filters out client-object flows with fewer than 10 requests and object
+// flows with fewer than 10 clients.
+package flows
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+// ClientKey identifies a client as the paper does: by anonymized client
+// IP plus user agent (hashed, so the key is compact and comparable).
+type ClientKey struct {
+	ClientID uint64
+	UAHash   uint64
+}
+
+// HashUA hashes a raw user-agent header for ClientKey.
+func HashUA(ua string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(ua))
+	return h.Sum64()
+}
+
+// ClientKeyFor builds the flow key for one log record.
+func ClientKeyFor(r *logfmt.Record) ClientKey {
+	return ClientKey{ClientID: r.ClientID, UAHash: HashUA(r.UserAgent)}
+}
+
+// Request is the per-request information a flow retains: enough for the
+// periodicity analysis (times), the cacheability/upload accounting of
+// §5.1's results, and the prediction analysis (URL ordering).
+type Request struct {
+	Time   time.Time
+	Upload bool
+	Cached bool // response was cacheable (hit or miss)
+}
+
+// ClientFlow is one client's request subsequence for one object.
+type ClientFlow struct {
+	Client   ClientKey
+	Requests []Request
+}
+
+// Len returns the number of requests in the flow.
+func (f *ClientFlow) Len() int { return len(f.Requests) }
+
+// ObjectFlow groups every request to one object URL.
+type ObjectFlow struct {
+	// URL is the canonicalized object URL.
+	URL string
+	// Clients holds the per-client subsequences, in arbitrary order.
+	Clients []*ClientFlow
+}
+
+// NumRequests returns the total number of requests across clients.
+func (f *ObjectFlow) NumRequests() int {
+	n := 0
+	for _, c := range f.Clients {
+		n += len(c.Requests)
+	}
+	return n
+}
+
+// AllRequests returns every request to the object sorted by time,
+// merging the per-client subsequences.
+func (f *ObjectFlow) AllRequests() []Request {
+	out := make([]Request, 0, f.NumRequests())
+	for _, c := range f.Clients {
+		out = append(out, c.Requests...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Extractor accumulates flows from a log stream. Feed records with
+// Observe, then call Flows for the filtered result. Extractor is not
+// safe for concurrent use.
+type Extractor struct {
+	// MinRequests is the minimum client-object flow length (paper: 10).
+	MinRequests int
+	// MinClients is the minimum number of (retained) clients per object
+	// flow (paper: 10).
+	MinClients int
+	// Filter optionally restricts which records are considered;
+	// nil admits every record.
+	Filter logfmt.Filter
+
+	objects map[string]map[ClientKey]*ClientFlow
+	total   int64
+}
+
+// NewExtractor returns an extractor with the paper's thresholds
+// (10 requests per client-object flow, 10 clients per object flow).
+func NewExtractor() *Extractor {
+	return &Extractor{
+		MinRequests: 10,
+		MinClients:  10,
+		objects:     make(map[string]map[ClientKey]*ClientFlow),
+	}
+}
+
+// Observe folds one record into the flow state.
+func (e *Extractor) Observe(r *logfmt.Record) {
+	if e.Filter != nil && !e.Filter(r) {
+		return
+	}
+	e.total++
+	url := logfmt.CanonicalURL(r.URL)
+	clients := e.objects[url]
+	if clients == nil {
+		clients = make(map[ClientKey]*ClientFlow)
+		e.objects[url] = clients
+	}
+	key := ClientKeyFor(r)
+	cf := clients[key]
+	if cf == nil {
+		cf = &ClientFlow{Client: key}
+		clients[key] = cf
+	}
+	cf.Requests = append(cf.Requests, Request{
+		Time:   r.Time,
+		Upload: r.IsUpload(),
+		Cached: r.Cache.Cacheable(),
+	})
+}
+
+// TotalObserved returns the number of records admitted by the filter.
+func (e *Extractor) TotalObserved() int64 { return e.total }
+
+// NumObjects returns the number of distinct object URLs seen (before
+// filtering).
+func (e *Extractor) NumObjects() int { return len(e.objects) }
+
+// Flows returns the object flows that survive both thresholds:
+// client-object flows shorter than MinRequests are dropped, then object
+// flows with fewer than MinClients remaining clients are dropped.
+// Request lists are sorted by time. The result is sorted by URL for
+// deterministic iteration.
+func (e *Extractor) Flows() []*ObjectFlow {
+	urls := make([]string, 0, len(e.objects))
+	for url := range e.objects {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	var out []*ObjectFlow
+	for _, url := range urls {
+		clients := e.objects[url]
+		of := &ObjectFlow{URL: url}
+		keys := make([]ClientKey, 0, len(clients))
+		for k := range clients {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].ClientID != keys[j].ClientID {
+				return keys[i].ClientID < keys[j].ClientID
+			}
+			return keys[i].UAHash < keys[j].UAHash
+		})
+		for _, k := range keys {
+			cf := clients[k]
+			if len(cf.Requests) < e.MinRequests {
+				continue
+			}
+			sort.Slice(cf.Requests, func(i, j int) bool {
+				return cf.Requests[i].Time.Before(cf.Requests[j].Time)
+			})
+			of.Clients = append(of.Clients, cf)
+		}
+		if len(of.Clients) >= e.MinClients {
+			out = append(out, of)
+		}
+	}
+	return out
+}
+
+// FilterStats reports how much of the observed traffic survives the flow
+// filters: the paper notes its thresholds retain "flows containing the
+// top 25% of objects requested".
+type FilterStats struct {
+	// ObjectsTotal and ObjectsKept count distinct URLs before and after
+	// filtering.
+	ObjectsTotal, ObjectsKept int
+	// RequestsTotal and RequestsKept count requests before and after.
+	RequestsTotal, RequestsKept int64
+}
+
+// ObjectShare returns the fraction of objects kept.
+func (s FilterStats) ObjectShare() float64 {
+	if s.ObjectsTotal == 0 {
+		return 0
+	}
+	return float64(s.ObjectsKept) / float64(s.ObjectsTotal)
+}
+
+// RequestShare returns the fraction of requests kept; filtered flows are
+// the *popular* objects, so this typically far exceeds ObjectShare.
+func (s FilterStats) RequestShare() float64 {
+	if s.RequestsTotal == 0 {
+		return 0
+	}
+	return float64(s.RequestsKept) / float64(s.RequestsTotal)
+}
+
+// FilterStats computes the filter coverage for the current state. It
+// applies the same thresholds as Flows.
+func (e *Extractor) FilterStats() FilterStats {
+	s := FilterStats{ObjectsTotal: len(e.objects), RequestsTotal: e.total}
+	for _, clients := range e.objects {
+		kept := 0
+		var keptReqs int64
+		for _, cf := range clients {
+			if len(cf.Requests) >= e.MinRequests {
+				kept++
+				keptReqs += int64(len(cf.Requests))
+			}
+		}
+		if kept >= e.MinClients {
+			s.ObjectsKept++
+			s.RequestsKept += keptReqs
+		}
+	}
+	return s
+}
+
+// BinCounts converts a request sequence into a uniformly sampled count
+// signal with the given bin width (the paper samples at 1 second),
+// spanning from the first to the last request. It returns nil for
+// sequences with fewer than two requests or a non-positive bin width.
+// The signal length is capped at maxBins (0 means no cap) to bound
+// memory for pathological spans.
+func BinCounts(reqs []Request, bin time.Duration, maxBins int) []float64 {
+	if len(reqs) < 2 || bin <= 0 {
+		return nil
+	}
+	start := reqs[0].Time
+	end := reqs[len(reqs)-1].Time
+	span := end.Sub(start)
+	n := int(span/bin) + 1
+	if n < 2 {
+		return nil
+	}
+	if maxBins > 0 && n > maxBins {
+		n = maxBins
+	}
+	x := make([]float64, n)
+	for _, r := range reqs {
+		i := int(r.Time.Sub(start) / bin)
+		if i >= 0 && i < n {
+			x[i]++
+		}
+	}
+	return x
+}

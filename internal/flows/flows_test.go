@@ -1,0 +1,250 @@
+package flows
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+var t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(client uint64, ua, url string, at time.Time) logfmt.Record {
+	return logfmt.Record{
+		Time: at, ClientID: client, Method: "GET", URL: url,
+		UserAgent: ua, MIMEType: "application/json", Status: 200,
+		Bytes: 100, Cache: logfmt.CacheHit,
+	}
+}
+
+func feed(e *Extractor, client uint64, ua, url string, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		r := rec(client, ua, url, t0.Add(time.Duration(i)*gap))
+		e.Observe(&r)
+	}
+}
+
+func TestExtractorThresholds(t *testing.T) {
+	e := NewExtractor()
+	const url = "https://x.com/obj"
+	// 10 clients with 10 requests each: retained.
+	for c := uint64(0); c < 10; c++ {
+		feed(e, c, "app/1.0", url, 10, time.Minute)
+	}
+	// One client with 9 requests: dropped from the flow.
+	feed(e, 99, "app/1.0", url, 9, time.Minute)
+	// Another object with only 3 clients: dropped entirely.
+	for c := uint64(0); c < 3; c++ {
+		feed(e, c, "app/1.0", "https://x.com/rare", 10, time.Minute)
+	}
+	flows := e.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("got %d flows, want 1", len(flows))
+	}
+	f := flows[0]
+	if f.URL != url {
+		t.Errorf("URL = %q", f.URL)
+	}
+	if len(f.Clients) != 10 {
+		t.Errorf("clients = %d, want 10 (short client dropped)", len(f.Clients))
+	}
+	if f.NumRequests() != 100 {
+		t.Errorf("requests = %d", f.NumRequests())
+	}
+}
+
+func TestExtractorClientIdentity(t *testing.T) {
+	// Same IP with different user agents must be distinct clients
+	// (the paper keys clients by UA + hashed IP).
+	e := NewExtractor()
+	e.MinRequests = 1
+	e.MinClients = 2
+	const url = "https://x.com/obj"
+	feed(e, 1, "appA/1.0", url, 2, time.Second)
+	feed(e, 1, "appB/2.0", url, 2, time.Second)
+	flows := e.Flows()
+	if len(flows) != 1 || len(flows[0].Clients) != 2 {
+		t.Fatalf("UA should split clients: %+v", flows)
+	}
+}
+
+func TestExtractorCanonicalizesURLs(t *testing.T) {
+	e := NewExtractor()
+	e.MinRequests = 1
+	e.MinClients = 1
+	r1 := rec(1, "a", "https://X.com/obj?b=2&a=1", t0)
+	r2 := rec(1, "a", "https://x.com:443/obj?a=1&b=2", t0.Add(time.Second))
+	e.Observe(&r1)
+	e.Observe(&r2)
+	if e.NumObjects() != 1 {
+		t.Fatalf("equivalent URLs produced %d objects", e.NumObjects())
+	}
+}
+
+func TestExtractorFilter(t *testing.T) {
+	e := NewExtractor()
+	e.Filter = logfmt.JSONOnly
+	r := rec(1, "a", "https://x.com/obj", t0)
+	r.MIMEType = "text/html"
+	e.Observe(&r)
+	if e.TotalObserved() != 0 {
+		t.Error("filtered record counted")
+	}
+	r.MIMEType = "application/json"
+	e.Observe(&r)
+	if e.TotalObserved() != 1 {
+		t.Error("admitted record not counted")
+	}
+}
+
+func TestRequestsSortedByTime(t *testing.T) {
+	e := NewExtractor()
+	e.MinRequests = 3
+	e.MinClients = 1
+	const url = "https://x.com/obj"
+	// Feed out of order.
+	for _, offset := range []int{5, 1, 3} {
+		r := rec(1, "a", url, t0.Add(time.Duration(offset)*time.Second))
+		e.Observe(&r)
+	}
+	flows := e.Flows()
+	if len(flows) != 1 {
+		t.Fatal("flow missing")
+	}
+	reqs := flows[0].Clients[0].Requests
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Time.Before(reqs[i-1].Time) {
+			t.Fatal("requests not sorted")
+		}
+	}
+}
+
+func TestAllRequestsMergesAndSorts(t *testing.T) {
+	e := NewExtractor()
+	e.MinRequests = 2
+	e.MinClients = 2
+	const url = "https://x.com/obj"
+	feed(e, 1, "a", url, 3, 2*time.Second)
+	feed(e, 2, "a", url, 3, 3*time.Second)
+	flows := e.Flows()
+	all := flows[0].AllRequests()
+	if len(all) != 6 {
+		t.Fatalf("merged %d requests", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Time.Before(all[i-1].Time) {
+			t.Fatal("merged requests not sorted")
+		}
+	}
+}
+
+func TestFlowsDeterministicOrder(t *testing.T) {
+	build := func() []*ObjectFlow {
+		e := NewExtractor()
+		e.MinRequests = 1
+		e.MinClients = 1
+		for c := uint64(0); c < 20; c++ {
+			url := fmt.Sprintf("https://x.com/obj/%d", c%5)
+			feed(e, c, "a", url, 2, time.Second)
+		}
+		return e.Flows()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("flow counts differ")
+	}
+	for i := range a {
+		if a[i].URL != b[i].URL || len(a[i].Clients) != len(b[i].Clients) {
+			t.Fatal("flow order not deterministic")
+		}
+		for j := range a[i].Clients {
+			if a[i].Clients[j].Client != b[i].Clients[j].Client {
+				t.Fatal("client order not deterministic")
+			}
+		}
+	}
+}
+
+func TestBinCounts(t *testing.T) {
+	reqs := []Request{
+		{Time: t0},
+		{Time: t0.Add(2 * time.Second)},
+		{Time: t0.Add(2500 * time.Millisecond)},
+		{Time: t0.Add(5 * time.Second)},
+	}
+	x := BinCounts(reqs, time.Second, 0)
+	if len(x) != 6 {
+		t.Fatalf("signal length %d, want 6", len(x))
+	}
+	want := []float64{1, 0, 2, 0, 0, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Errorf("bin %d = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestBinCountsEdgeCases(t *testing.T) {
+	if BinCounts(nil, time.Second, 0) != nil {
+		t.Error("nil requests should return nil")
+	}
+	if BinCounts([]Request{{Time: t0}}, time.Second, 0) != nil {
+		t.Error("single request should return nil")
+	}
+	reqs := []Request{{Time: t0}, {Time: t0.Add(time.Hour)}}
+	if BinCounts(reqs, 0, 0) != nil {
+		t.Error("zero bin width should return nil")
+	}
+	x := BinCounts(reqs, time.Second, 100)
+	if len(x) != 100 {
+		t.Errorf("maxBins cap not applied: %d", len(x))
+	}
+	// Sub-bin span: both requests in the same second.
+	same := []Request{{Time: t0}, {Time: t0.Add(100 * time.Millisecond)}}
+	if BinCounts(same, time.Second, 0) != nil {
+		t.Error("sub-bin span should return nil")
+	}
+}
+
+func TestHashUADistinct(t *testing.T) {
+	if HashUA("a") == HashUA("b") {
+		t.Error("different UAs hashed equal")
+	}
+	if HashUA("a") != HashUA("a") {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestFilterStats(t *testing.T) {
+	e := NewExtractor()
+	const url = "https://x.com/popular"
+	// Popular object: 10 clients x 12 requests (kept).
+	for c := uint64(0); c < 10; c++ {
+		feed(e, c, "app/1.0", url, 12, time.Minute)
+	}
+	// Unpopular objects: 5 one-request objects (dropped).
+	for i := 0; i < 5; i++ {
+		r := rec(100+uint64(i), "app/1.0", fmt.Sprintf("https://x.com/rare/%d", i), t0)
+		e.Observe(&r)
+	}
+	s := e.FilterStats()
+	if s.ObjectsTotal != 6 || s.ObjectsKept != 1 {
+		t.Errorf("objects = %d/%d", s.ObjectsKept, s.ObjectsTotal)
+	}
+	if s.RequestsTotal != 125 || s.RequestsKept != 120 {
+		t.Errorf("requests = %d/%d", s.RequestsKept, s.RequestsTotal)
+	}
+	// Popular objects carry most requests despite being few.
+	if s.ObjectShare() > 0.2 || s.RequestShare() < 0.9 {
+		t.Errorf("shares: objects %.2f requests %.2f", s.ObjectShare(), s.RequestShare())
+	}
+}
+
+func TestFilterStatsEmpty(t *testing.T) {
+	e := NewExtractor()
+	s := e.FilterStats()
+	if s.ObjectShare() != 0 || s.RequestShare() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

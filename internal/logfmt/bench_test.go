@@ -1,0 +1,60 @@
+package logfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func BenchmarkAppendTSV(b *testing.B) {
+	r := sampleRecord()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTSV(buf[:0], &r)
+	}
+}
+
+func BenchmarkParseTSV(b *testing.B) {
+	r := sampleRecord()
+	line := strings.TrimSuffix(string(AppendTSV(nil, &r)), "\n")
+	var out Record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ParseTSV(line, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalJSONLine(b *testing.B) {
+	r := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalJSONLine(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	r := sampleRecord()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatTSV)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&r); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}
+
+func BenchmarkCanonicalURL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CanonicalURL("HTTPS://Example.COM:443/v1/articles?b=2&a=1")
+	}
+}

@@ -1,0 +1,223 @@
+package logfmt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	var want []Record
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		r := sampleRecord()
+		r.Time = base.Add(time.Duration(i) * 137 * time.Millisecond)
+		r.Bytes = int64(i * 7)
+		if i%3 == 0 {
+			r.Method = "POST"
+		}
+		if i%5 == 0 {
+			r.MIMEType = "text/html"
+		}
+		if i%7 == 0 {
+			r.UserAgent = ""
+		}
+		want = append(want, r)
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 200 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := NewBinaryReader(&buf)
+	i := 0
+	err := rd.ForEach(func(r *Record) error {
+		if !r.Time.Equal(want[i].Time) {
+			t.Fatalf("record %d time %v != %v", i, r.Time, want[i].Time)
+		}
+		got := *r
+		got.Time = want[i].Time
+		if got != want[i] {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got, want[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 200 {
+		t.Errorf("read %d records", i)
+	}
+}
+
+func TestBinaryOutOfOrderTimes(t *testing.T) {
+	// Delta encoding must handle negative deltas (slightly out-of-order
+	// streams).
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	times := []time.Time{base.Add(time.Second), base, base.Add(3 * time.Second)}
+	for _, at := range times {
+		r := sampleRecord()
+		r.Time = at
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	rd := NewBinaryReader(&buf)
+	i := 0
+	rd.ForEach(func(r *Record) error {
+		if !r.Time.Equal(times[i]) {
+			t.Errorf("record %d time %v != %v", i, r.Time, times[i])
+		}
+		i++
+		return nil
+	})
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	rd := NewBinaryReader(bytes.NewReader(nil))
+	var r Record
+	if err := rd.Read(&r); err != io.EOF {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	rd := NewBinaryReader(strings.NewReader("NOTCDNJ"))
+	var r Record
+	if err := rd.Read(&r); err == nil || err == io.EOF {
+		t.Errorf("bad magic accepted: %v", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	r := sampleRecord()
+	w.Write(&r)
+	w.Close()
+	full := buf.Bytes()
+	// Cut mid-record.
+	rd := NewBinaryReader(bytes.NewReader(full[:len(full)-3]))
+	var out Record
+	if err := rd.Read(&out); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestBinaryCorruptCacheStatus(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	r := sampleRecord()
+	w.Write(&r)
+	w.Close()
+	data := buf.Bytes()
+	data[len(data)-1] = 99 // cache byte is last
+	rd := NewBinaryReader(bytes.NewReader(data))
+	var out Record
+	if err := rd.Read(&out); err == nil {
+		t.Error("corrupt cache status accepted")
+	}
+}
+
+func TestBinarySmallerThanTSV(t *testing.T) {
+	var tsv, bin bytes.Buffer
+	tw := NewWriter(&tsv, FormatTSV)
+	bw := NewBinaryWriter(&bin)
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1000; i++ {
+		r := sampleRecord()
+		r.Time = base.Add(time.Duration(i) * 40 * time.Millisecond)
+		tw.Write(&r)
+		bw.Write(&r)
+	}
+	tw.Close()
+	bw.Close()
+	if bin.Len() >= tsv.Len()*2/3 {
+		t.Errorf("binary %d bytes not clearly below TSV %d", bin.Len(), tsv.Len())
+	}
+}
+
+func TestBinaryPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(id uint64, status uint16, size uint32, url, ua string) bool {
+		r := Record{
+			Time:      time.Date(2019, 5, 1, 0, 0, 0, int(id%1e9), time.UTC),
+			ClientID:  id,
+			Method:    "WEIRD-METHOD",
+			URL:       url,
+			UserAgent: ua,
+			MIMEType:  "application/x-custom",
+			Status:    int(status),
+			Bytes:     int64(size),
+			Cache:     CacheStatus(id % 3),
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		if err := w.Write(&r); err != nil {
+			return false
+		}
+		w.Close()
+		var got Record
+		if err := NewBinaryReader(&buf).Read(&got); err != nil {
+			return false
+		}
+		return got.Time.Equal(r.Time) && got.ClientID == r.ClientID &&
+			got.Method == r.Method && got.URL == r.URL &&
+			got.UserAgent == r.UserAgent && got.MIMEType == r.MIMEType &&
+			got.Status == r.Status && got.Bytes == r.Bytes && got.Cache == r.Cache
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	r := sampleRecord()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&r); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	r := sampleRecord()
+	for i := 0; i < 10000; i++ {
+		w.Write(&r)
+	}
+	w.Close()
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rd := NewBinaryReader(bytes.NewReader(data))
+	var out Record
+	for i := 0; i < b.N; i++ {
+		if err := rd.Read(&out); err == io.EOF {
+			rd = NewBinaryReader(bytes.NewReader(data))
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

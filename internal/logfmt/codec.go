@@ -1,0 +1,401 @@
+package logfmt
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The TSV wire format is one record per line:
+//
+//	time \t clientID(hex) \t method \t url \t cacheStatus \t status \t bytes \t mime \t userAgent
+//
+// The user agent comes last because it is the only field that may contain
+// arbitrary text (tabs and newlines inside it are escaped).
+
+const tsvFields = 9
+
+// AppendTSV appends the TSV encoding of r (including trailing newline) to
+// dst and returns the extended slice.
+func AppendTSV(dst []byte, r *Record) []byte {
+	dst = append(dst, formatTime(r.Time)...)
+	dst = append(dst, '\t')
+	dst = append(dst, formatClientID(r.ClientID)...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Method...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.URL...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Cache.String()...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Bytes, 10)
+	dst = append(dst, '\t')
+	dst = append(dst, r.MIMEType...)
+	dst = append(dst, '\t')
+	dst = appendEscaped(dst, r.UserAgent)
+	dst = append(dst, '\n')
+	return dst
+}
+
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			dst = append(dst, '\\', 't')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// ParseTSV parses one TSV line (without trailing newline) into r.
+func ParseTSV(line string, r *Record) error {
+	fields := strings.SplitN(line, "\t", tsvFields)
+	if len(fields) != tsvFields {
+		return fmt.Errorf("logfmt: TSV line has %d fields, want %d", len(fields), tsvFields)
+	}
+	t, err := parseTime(fields[0])
+	if err != nil {
+		return fmt.Errorf("logfmt: bad time %q: %w", fields[0], err)
+	}
+	id, err := parseClientID(fields[1])
+	if err != nil {
+		return fmt.Errorf("logfmt: bad client id %q: %w", fields[1], err)
+	}
+	cache, err := ParseCacheStatus(fields[4])
+	if err != nil {
+		return err
+	}
+	status, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return fmt.Errorf("logfmt: bad status %q: %w", fields[5], err)
+	}
+	size, err := strconv.ParseInt(fields[6], 10, 64)
+	if err != nil {
+		return fmt.Errorf("logfmt: bad size %q: %w", fields[6], err)
+	}
+	r.Time = t
+	r.ClientID = id
+	r.Method = fields[2]
+	r.URL = fields[3]
+	r.Cache = cache
+	r.Status = status
+	r.Bytes = size
+	r.MIMEType = fields[7]
+	r.UserAgent = unescape(fields[8])
+	return nil
+}
+
+// jsonRecord is the JSON Lines representation of Record.
+type jsonRecord struct {
+	Time      time.Time `json:"time"`
+	ClientID  string    `json:"client_id"`
+	Method    string    `json:"method"`
+	URL       string    `json:"url"`
+	UserAgent string    `json:"user_agent,omitempty"`
+	MIMEType  string    `json:"mime_type"`
+	Status    int       `json:"status"`
+	Bytes     int64     `json:"bytes"`
+	Cache     string    `json:"cache"`
+}
+
+// MarshalJSONLine returns the JSON Lines encoding of r (one JSON object,
+// no trailing newline).
+func MarshalJSONLine(r *Record) ([]byte, error) {
+	return json.Marshal(jsonRecord{
+		Time:      r.Time.UTC(),
+		ClientID:  formatClientID(r.ClientID),
+		Method:    r.Method,
+		URL:       r.URL,
+		UserAgent: r.UserAgent,
+		MIMEType:  r.MIMEType,
+		Status:    r.Status,
+		Bytes:     r.Bytes,
+		Cache:     r.Cache.String(),
+	})
+}
+
+// UnmarshalJSONLine parses one JSON Lines object into r.
+func UnmarshalJSONLine(data []byte, r *Record) error {
+	var jr jsonRecord
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("logfmt: bad JSON record: %w", err)
+	}
+	id, err := parseClientID(jr.ClientID)
+	if err != nil {
+		return fmt.Errorf("logfmt: bad client id %q: %w", jr.ClientID, err)
+	}
+	cache, err := ParseCacheStatus(jr.Cache)
+	if err != nil {
+		return err
+	}
+	r.Time = jr.Time
+	r.ClientID = id
+	r.Method = jr.Method
+	r.URL = jr.URL
+	r.UserAgent = jr.UserAgent
+	r.MIMEType = jr.MIMEType
+	r.Status = jr.Status
+	r.Bytes = jr.Bytes
+	r.Cache = cache
+	return nil
+}
+
+// Format selects a log encoding.
+type Format uint8
+
+const (
+	// FormatTSV is the compact tab-separated native format.
+	FormatTSV Format = iota
+	// FormatJSONL is JSON Lines.
+	FormatJSONL
+)
+
+// Writer streams records to an underlying io.Writer in a chosen format,
+// buffered. Close flushes; it closes the underlying writer only if it is
+// an io.Closer the Writer created itself (gzip layer). Writer is not safe
+// for concurrent use.
+type Writer struct {
+	bw     *bufio.Writer
+	gz     *gzip.Writer
+	format Format
+	buf    []byte
+	n      int64
+}
+
+// NewWriter returns a Writer emitting the given format to w.
+func NewWriter(w io.Writer, format Format) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), format: format}
+}
+
+// NewGzipWriter returns a Writer that gzip-compresses its output.
+func NewGzipWriter(w io.Writer, format Format) *Writer {
+	gz := gzip.NewWriter(w)
+	lw := NewWriter(gz, format)
+	lw.gz = gz
+	return lw
+}
+
+// Write encodes and buffers one record.
+func (w *Writer) Write(r *Record) error {
+	switch w.format {
+	case FormatTSV:
+		w.buf = AppendTSV(w.buf[:0], r)
+	case FormatJSONL:
+		line, err := MarshalJSONLine(r)
+		if err != nil {
+			return err
+		}
+		w.buf = append(line, '\n')
+	default:
+		return fmt.Errorf("logfmt: unknown format %d", w.format)
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Close flushes buffered data and finalizes any compression layer.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.gz != nil {
+		return w.gz.Close()
+	}
+	return nil
+}
+
+// Reader streams records from an underlying io.Reader, transparently
+// detecting gzip. Reader is not safe for concurrent use.
+type Reader struct {
+	br     *bufio.Reader
+	format Format
+	line   int64
+}
+
+// NewReader returns a Reader decoding the given format from r,
+// transparently decompressing gzip input (detected by magic bytes).
+func NewReader(r io.Reader, format Format) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("logfmt: bad gzip stream: %w", err)
+		}
+		br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	return &Reader{br: br, format: format}, nil
+}
+
+// Read decodes the next record into r. It returns io.EOF at end of
+// stream. Blank lines are skipped.
+func (rd *Reader) Read(r *Record) error {
+	for {
+		line, err := rd.br.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return err
+		}
+		rd.line++
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if err == io.EOF {
+				return io.EOF
+			}
+			continue
+		}
+		var perr error
+		switch rd.format {
+		case FormatTSV:
+			perr = ParseTSV(line, r)
+		case FormatJSONL:
+			perr = UnmarshalJSONLine([]byte(line), r)
+		default:
+			return fmt.Errorf("logfmt: unknown format %d", rd.format)
+		}
+		if perr != nil {
+			return fmt.Errorf("logfmt: line %d: %w", rd.line, perr)
+		}
+		return nil
+	}
+}
+
+// ForEach reads every record in the stream and calls fn. It stops at EOF,
+// or earlier if fn returns a non-nil error, which is then returned.
+func (rd *Reader) ForEach(fn func(*Record) error) error {
+	var rec Record
+	for {
+		err := rd.Read(&rec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// RecordReader is implemented by every log decoder (text and binary).
+type RecordReader interface {
+	// Read decodes the next record, returning io.EOF at end of stream.
+	Read(*Record) error
+	// ForEach reads every record, stopping at EOF or on fn's first error.
+	ForEach(fn func(*Record) error) error
+}
+
+// RecordWriter is implemented by every log encoder.
+type RecordWriter interface {
+	// Write encodes one record.
+	Write(*Record) error
+	// Count returns the number of records written so far.
+	Count() int64
+	// Close flushes buffered output and finalizes compression layers.
+	Close() error
+}
+
+// OpenFile opens path and returns a reader for it. The encoding is
+// inferred from the extension: .jsonl → JSON Lines, .cdnb → binary,
+// anything else → TSV; a .gz suffix is stripped first (decompression is
+// automatic for the text formats).
+func OpenFile(path string) (RecordReader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isBinaryPath(path) {
+		return NewBinaryReader(f), f, nil
+	}
+	rd, err := NewReader(f, FormatForPath(path))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return rd, f, nil
+}
+
+// CreateFile creates path and returns a writer in the inferred format
+// (see OpenFile), gzip-compressing text formats with a .gz suffix.
+// Closing the returned writer flushes; the caller must also close the
+// returned io.Closer (the file).
+func CreateFile(path string) (RecordWriter, io.Closer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isBinaryPath(path) {
+		if strings.HasSuffix(path, ".gz") {
+			return NewGzipBinaryWriter(f), f, nil
+		}
+		return NewBinaryWriter(f), f, nil
+	}
+	format := FormatForPath(path)
+	if strings.HasSuffix(path, ".gz") {
+		return NewGzipWriter(f, format), f, nil
+	}
+	return NewWriter(f, format), f, nil
+}
+
+func isBinaryPath(path string) bool {
+	return strings.HasSuffix(strings.TrimSuffix(path, ".gz"), ".cdnb")
+}
+
+// FormatForPath infers the text encoding format from a file name.
+func FormatForPath(path string) Format {
+	p := strings.TrimSuffix(path, ".gz")
+	if strings.HasSuffix(p, ".jsonl") {
+		return FormatJSONL
+	}
+	return FormatTSV
+}

@@ -1,0 +1,266 @@
+package logfmt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	line := string(AppendTSV(nil, &r))
+	var got Record
+	if err := ParseTSV(strings.TrimSuffix(line, "\n"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestTSVEscaping(t *testing.T) {
+	r := sampleRecord()
+	r.UserAgent = "weird\tagent\nwith\\escapes"
+	line := string(AppendTSV(nil, &r))
+	if strings.Count(line, "\n") != 1 {
+		t.Fatal("embedded newline not escaped")
+	}
+	var got Record
+	if err := ParseTSV(strings.TrimSuffix(line, "\n"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.UserAgent != r.UserAgent {
+		t.Fatalf("UA round trip: %q != %q", got.UserAgent, r.UserAgent)
+	}
+}
+
+func TestUnescapeUnknownSequence(t *testing.T) {
+	if got := unescape(`a\qb`); got != `a\qb` {
+		t.Errorf("unknown escape mangled: %q", got)
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	var r Record
+	cases := []string{
+		"too\tfew\tfields",
+		"notatime\tdead\tGET\thttp://x/\thit\t200\t5\tapplication/json\tua",
+		"2019-05-01T12:00:00Z\tZZZZ_not_hex\tGET\thttp://x/\thit\t200\t5\tapplication/json\tua",
+		"2019-05-01T12:00:00Z\tdead\tGET\thttp://x/\tbogus\t200\t5\tapplication/json\tua",
+		"2019-05-01T12:00:00Z\tdead\tGET\thttp://x/\thit\tNaN\t5\tapplication/json\tua",
+		"2019-05-01T12:00:00Z\tdead\tGET\thttp://x/\thit\t200\tNaN\tapplication/json\tua",
+	}
+	for i, line := range cases {
+		if err := ParseTSV(line, &r); err == nil {
+			t.Errorf("case %d: bad line accepted", i)
+		}
+	}
+}
+
+func TestJSONLineRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	data, err := MarshalJSONLine(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := UnmarshalJSONLine(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(r.Time) {
+		t.Errorf("time mismatch: %v != %v", got.Time, r.Time)
+	}
+	got.Time = r.Time
+	if got != r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestUnmarshalJSONLineErrors(t *testing.T) {
+	var r Record
+	for _, data := range []string{
+		"{not json",
+		`{"client_id":"zz__","cache":"hit"}`,
+		`{"client_id":"aa","cache":"bogus"}`,
+	} {
+		if err := UnmarshalJSONLine([]byte(data), &r); err == nil {
+			t.Errorf("accepted %q", data)
+		}
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	for _, format := range []Format{FormatTSV, FormatJSONL} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, format)
+		const n = 100
+		for i := 0; i < n; i++ {
+			r := sampleRecord()
+			r.Bytes = int64(i)
+			if err := w.Write(&r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Count() != n {
+			t.Errorf("Count = %d", w.Count())
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(&buf, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count int64
+		err = rd.ForEach(func(r *Record) error {
+			if r.Bytes != count {
+				t.Fatalf("record %d has Bytes %d", count, r.Bytes)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != n {
+			t.Errorf("format %d: read %d records, want %d", format, count, n)
+		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewGzipWriter(&buf, FormatTSV)
+	r := sampleRecord()
+	for i := 0; i < 50; i++ {
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != 0x1f {
+		t.Fatal("output not gzip")
+	}
+	rd, err := NewReader(&buf, FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := rd.ForEach(func(*Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Errorf("read %d records", count)
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	r := sampleRecord()
+	line := string(AppendTSV(nil, &r))
+	input := line + "\n\n" + line + "\n"
+	rd, err := NewReader(strings.NewReader(input), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := rd.ForEach(func(*Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("read %d records, want 2", count)
+	}
+}
+
+func TestReaderReportsLineNumber(t *testing.T) {
+	r := sampleRecord()
+	good := string(AppendTSV(nil, &r))
+	input := good + "garbage line\n"
+	rd, err := NewReader(strings.NewReader(input), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := rd.Read(&rec); err != nil {
+		t.Fatal(err)
+	}
+	err = rd.Read(&rec)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should mention line 2, got %v", err)
+	}
+}
+
+func TestReaderNoTrailingNewline(t *testing.T) {
+	r := sampleRecord()
+	line := strings.TrimSuffix(string(AppendTSV(nil, &r)), "\n")
+	rd, err := NewReader(strings.NewReader(line), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := rd.Read(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Read(&rec); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	r := sampleRecord()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatTSV)
+	w.Write(&r)
+	w.Write(&r)
+	w.Close()
+	rd, _ := NewReader(&buf, FormatTSV)
+	wantErr := io.ErrUnexpectedEOF
+	err := rd.ForEach(func(*Record) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]Format{
+		"x.tsv":      FormatTSV,
+		"x.log":      FormatTSV,
+		"x.jsonl":    FormatJSONL,
+		"x.jsonl.gz": FormatJSONL,
+		"x.tsv.gz":   FormatTSV,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestTSVPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(id uint64, status uint16, size uint32, ua string) bool {
+		r := Record{
+			Time:      time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(id % 1e6)),
+			ClientID:  id,
+			Method:    "GET",
+			URL:       "https://example.com/x",
+			UserAgent: ua,
+			MIMEType:  "application/json",
+			Status:    int(status),
+			Bytes:     int64(size),
+			Cache:     CacheStatus(id % 3),
+		}
+		line := string(AppendTSV(nil, &r))
+		var got Record
+		if err := ParseTSV(strings.TrimSuffix(line, "\n"), &got); err != nil {
+			return false
+		}
+		return got == r
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package logfmt
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCreateOpenFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for _, name := range []string{
+		"logs.tsv", "logs.tsv.gz", "logs.jsonl", "logs.jsonl.gz",
+		"logs.cdnb", "logs.cdnb.gz", "logs.log",
+	} {
+		path := filepath.Join(dir, name)
+		w, closer, err := CreateFile(path)
+		if err != nil {
+			t.Fatalf("%s: create: %v", name, err)
+		}
+		const n = 50
+		for i := 0; i < n; i++ {
+			r := sampleRecord()
+			r.Time = base.Add(time.Duration(i) * time.Second)
+			r.Bytes = int64(i)
+			if err := w.Write(&r); err != nil {
+				t.Fatalf("%s: write: %v", name, err)
+			}
+		}
+		if w.Count() != n {
+			t.Errorf("%s: count = %d", name, w.Count())
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("%s: close writer: %v", name, err)
+		}
+		if err := closer.Close(); err != nil {
+			t.Fatalf("%s: close file: %v", name, err)
+		}
+
+		rd, rcloser, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		count := int64(0)
+		err = rd.ForEach(func(r *Record) error {
+			if r.Bytes != count {
+				t.Fatalf("%s: record %d has Bytes %d", name, count, r.Bytes)
+			}
+			count++
+			return r.Validate()
+		})
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if count != n {
+			t.Errorf("%s: read %d records", name, count)
+		}
+		rcloser.Close()
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, _, err := OpenFile("/nonexistent/nope.tsv"); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+func TestCreateFileBadDir(t *testing.T) {
+	if _, _, err := CreateFile("/nonexistent-dir/x.tsv"); err == nil {
+		t.Error("bad directory accepted")
+	}
+}
+
+func TestIsBinaryPath(t *testing.T) {
+	cases := map[string]bool{
+		"a.cdnb":    true,
+		"a.cdnb.gz": true,
+		"a.tsv":     false,
+		"a.tsv.gz":  false,
+		"cdnb.tsv":  false,
+	}
+	for path, want := range cases {
+		if got := isBinaryPath(path); got != want {
+			t.Errorf("isBinaryPath(%q) = %v", path, got)
+		}
+	}
+}

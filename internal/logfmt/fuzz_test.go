@@ -1,0 +1,68 @@
+package logfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTSV checks that arbitrary input never panics the TSV parser
+// and that accepted lines re-encode to an equivalent record.
+func FuzzParseTSV(f *testing.F) {
+	r := sampleRecord()
+	f.Add(strings.TrimSuffix(string(AppendTSV(nil, &r)), "\n"))
+	f.Add("")
+	f.Add("a\tb\tc")
+	f.Add("2019-05-01T12:00:00Z\tdead\tGET\thttp://x/\thit\t200\t5\tapplication/json\tua")
+	f.Fuzz(func(t *testing.T, line string) {
+		var rec Record
+		if err := ParseTSV(line, &rec); err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must round-trip stably.
+		re := strings.TrimSuffix(string(AppendTSV(nil, &rec)), "\n")
+		var rec2 Record
+		if err := ParseTSV(re, &rec2); err != nil {
+			t.Fatalf("re-encoded line rejected: %v\nline: %q", err, re)
+		}
+		if rec2 != rec {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzBinaryReader checks the binary decoder never panics on corrupt
+// streams.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	r := sampleRecord()
+	w.Write(&r)
+	w.Write(&r)
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("CDNJ1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewBinaryReader(bytes.NewReader(data))
+		var rec Record
+		for i := 0; i < 100; i++ {
+			if err := rd.Read(&rec); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalJSONLine checks the JSONL decoder never panics.
+func FuzzUnmarshalJSONLine(f *testing.F) {
+	r := sampleRecord()
+	line, _ := MarshalJSONLine(&r)
+	f.Add(string(line))
+	f.Add("{}")
+	f.Add("{bad")
+	f.Fuzz(func(t *testing.T, data string) {
+		var rec Record
+		_ = UnmarshalJSONLine([]byte(data), &rec)
+	})
+}

@@ -1,0 +1,197 @@
+// Package logfmt defines the CDN edge-server request log record used
+// throughout the reproduction and its on-disk encodings.
+//
+// The schema mirrors the fields the paper collects from Akamai edge
+// servers (§3.1): request time, anonymized (hashed) client IP, select HTTP
+// request/response headers (user agent, MIME type, method, URL), response
+// size, and object caching information. Two encodings are provided: a
+// compact tab-separated line format (the native format of the tools in
+// cmd/) and JSON Lines for interchange. Both stream: readers and writers
+// never hold more than one record in memory.
+package logfmt
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CacheStatus describes how the edge served a response, as recorded by
+// the CDN cache logs (§3.2 "Response Type").
+type CacheStatus uint8
+
+const (
+	// CacheUncacheable marks responses the customer configured as not
+	// cacheable; they are always tunneled to origin.
+	CacheUncacheable CacheStatus = iota
+	// CacheHit marks responses served from the edge cache.
+	CacheHit
+	// CacheMiss marks cacheable responses that were not in cache and were
+	// fetched from origin.
+	CacheMiss
+)
+
+var cacheStatusNames = [...]string{"uncacheable", "hit", "miss"}
+
+// String returns the lowercase wire name of the status.
+func (s CacheStatus) String() string {
+	if int(s) < len(cacheStatusNames) {
+		return cacheStatusNames[s]
+	}
+	return fmt.Sprintf("CacheStatus(%d)", uint8(s))
+}
+
+// ParseCacheStatus parses the wire name of a cache status.
+func ParseCacheStatus(s string) (CacheStatus, error) {
+	for i, n := range cacheStatusNames {
+		if s == n {
+			return CacheStatus(i), nil
+		}
+	}
+	return 0, fmt.Errorf("logfmt: unknown cache status %q", s)
+}
+
+// Cacheable reports whether the response was eligible for edge caching.
+func (s CacheStatus) Cacheable() bool { return s == CacheHit || s == CacheMiss }
+
+// Record is one edge-server request log line.
+type Record struct {
+	// Time is the edge server's receipt time of the request.
+	Time time.Time
+	// ClientID is the anonymized client identity: a hash of the client IP
+	// (the paper hashes IPs for anonymity; client-object flows are keyed
+	// by (ClientID, UserAgent) pairs).
+	ClientID uint64
+	// Method is the HTTP request method (GET, POST, ...).
+	Method string
+	// URL is the full request URL (scheme optional, host required).
+	URL string
+	// UserAgent is the raw User-Agent request header; empty if absent.
+	UserAgent string
+	// MIMEType is the response Content-Type (e.g. "application/json").
+	MIMEType string
+	// Status is the HTTP response status code.
+	Status int
+	// Bytes is the response body size in bytes.
+	Bytes int64
+	// Cache is the edge cache disposition of the response.
+	Cache CacheStatus
+}
+
+// Host returns the host part of the record URL, or "" if unparseable.
+func (r *Record) Host() string {
+	u := r.URL
+	if i := strings.Index(u, "://"); i >= 0 {
+		u = u[i+3:]
+	}
+	if i := strings.IndexAny(u, "/?#"); i >= 0 {
+		u = u[:i]
+	}
+	// Strip port and userinfo.
+	if i := strings.LastIndexByte(u, '@'); i >= 0 {
+		u = u[i+1:]
+	}
+	if i := strings.IndexByte(u, ':'); i >= 0 {
+		u = u[:i]
+	}
+	return strings.ToLower(u)
+}
+
+// Path returns the path-and-query part of the record URL (at least "/").
+func (r *Record) Path() string {
+	u := r.URL
+	if i := strings.Index(u, "://"); i >= 0 {
+		u = u[i+3:]
+	}
+	if i := strings.IndexByte(u, '/'); i >= 0 {
+		return u[i:]
+	}
+	return "/"
+}
+
+// IsJSON reports whether the response MIME type is application/json
+// (ignoring parameters such as charset), the filter the paper applies to
+// isolate JSON traffic.
+func (r *Record) IsJSON() bool {
+	mt := r.MIMEType
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(mt)) == "application/json"
+}
+
+// IsDownload reports whether the request retrieves data (GET; §3.2
+// "Request Type" assumes conventional method semantics per RFC 7231).
+func (r *Record) IsDownload() bool { return r.Method == "GET" }
+
+// IsUpload reports whether the request sends data (POST).
+func (r *Record) IsUpload() bool { return r.Method == "POST" }
+
+// Validate reports the first structural problem with the record, or nil.
+func (r *Record) Validate() error {
+	switch {
+	case r.Time.IsZero():
+		return errors.New("logfmt: record has zero time")
+	case r.Method == "":
+		return errors.New("logfmt: record has empty method")
+	case r.URL == "":
+		return errors.New("logfmt: record has empty URL")
+	case r.Host() == "":
+		return fmt.Errorf("logfmt: record URL %q has no host", r.URL)
+	case r.Status < 100 || r.Status > 599:
+		return fmt.Errorf("logfmt: record has invalid status %d", r.Status)
+	case r.Bytes < 0:
+		return fmt.Errorf("logfmt: record has negative size %d", r.Bytes)
+	default:
+		return nil
+	}
+}
+
+// HashClientIP derives an anonymized ClientID from an IP string, matching
+// the paper's IP hashing for anonymity. The hash is deterministic
+// (FNV-1a) so the same client maps to the same ID across datasets.
+func HashClientIP(ip string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(ip))
+	return h.Sum64()
+}
+
+// CanonicalURL normalizes a URL for flow keying: lowercases scheme and
+// host, strips default ports and fragments, and sorts query parameters.
+// Invalid URLs are returned unchanged.
+func CanonicalURL(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return raw
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	if h, p, ok := strings.Cut(u.Host, ":"); ok {
+		if (u.Scheme == "https" && p == "443") || (u.Scheme == "http" && p == "80") {
+			u.Host = h
+		}
+	}
+	u.Fragment = ""
+	if u.RawQuery != "" {
+		q := u.Query()
+		u.RawQuery = q.Encode() // Encode sorts keys
+	}
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	return u.String()
+}
+
+const timeLayout = time.RFC3339Nano
+
+func formatTime(t time.Time) string { return t.UTC().Format(timeLayout) }
+
+func parseTime(s string) (time.Time, error) { return time.Parse(timeLayout, s) }
+
+func formatClientID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+func parseClientID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }

@@ -1,0 +1,162 @@
+package logfmt
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Time:      time.Date(2019, 5, 1, 12, 0, 0, 123456789, time.UTC),
+		ClientID:  0xdeadbeef,
+		Method:    "GET",
+		URL:       "https://api.news-example.com/v1/stories?page=2",
+		UserAgent: "NewsApp/3.1 (iPhone; iOS 12.2)",
+		MIMEType:  "application/json",
+		Status:    200,
+		Bytes:     2048,
+		Cache:     CacheHit,
+	}
+}
+
+func TestCacheStatusRoundTrip(t *testing.T) {
+	for _, s := range []CacheStatus{CacheUncacheable, CacheHit, CacheMiss} {
+		got, err := ParseCacheStatus(s.String())
+		if err != nil {
+			t.Fatalf("ParseCacheStatus(%q): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := ParseCacheStatus("bogus"); err == nil {
+		t.Error("want error for unknown status")
+	}
+	if got := CacheStatus(99).String(); got != "CacheStatus(99)" {
+		t.Errorf("unknown status String = %q", got)
+	}
+}
+
+func TestCacheable(t *testing.T) {
+	if CacheUncacheable.Cacheable() {
+		t.Error("uncacheable reported cacheable")
+	}
+	if !CacheHit.Cacheable() || !CacheMiss.Cacheable() {
+		t.Error("hit/miss should be cacheable")
+	}
+}
+
+func TestRecordHost(t *testing.T) {
+	cases := map[string]string{
+		"https://API.Example.com/v1/x":  "api.example.com",
+		"http://example.com:8080/p":     "example.com",
+		"example.com/path":              "example.com",
+		"https://user@pw.example.com/a": "pw.example.com",
+		"https://example.com?q=1":       "example.com",
+		"https://example.com#frag":      "example.com",
+		"https://h.example.com":         "h.example.com",
+	}
+	for in, want := range cases {
+		r := Record{URL: in}
+		if got := r.Host(); got != want {
+			t.Errorf("Host(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRecordPath(t *testing.T) {
+	cases := map[string]string{
+		"https://example.com/v1/x?q=2": "/v1/x?q=2",
+		"https://example.com":          "/",
+		"example.com/a/b":              "/a/b",
+	}
+	for in, want := range cases {
+		r := Record{URL: in}
+		if got := r.Path(); got != want {
+			t.Errorf("Path(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsJSON(t *testing.T) {
+	cases := map[string]bool{
+		"application/json":               true,
+		"application/json; charset=utf8": true,
+		"APPLICATION/JSON":               true,
+		"text/html":                      false,
+		"application/json+ld":            false,
+		"":                               false,
+	}
+	for mt, want := range cases {
+		r := Record{MIMEType: mt}
+		if got := r.IsJSON(); got != want {
+			t.Errorf("IsJSON(%q) = %v, want %v", mt, got, want)
+		}
+	}
+}
+
+func TestUploadDownload(t *testing.T) {
+	get := Record{Method: "GET"}
+	post := Record{Method: "POST"}
+	put := Record{Method: "PUT"}
+	if !get.IsDownload() || get.IsUpload() {
+		t.Error("GET classification wrong")
+	}
+	if !post.IsUpload() || post.IsDownload() {
+		t.Error("POST classification wrong")
+	}
+	if put.IsUpload() || put.IsDownload() {
+		t.Error("PUT should be neither upload nor download")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleRecord()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := []func(*Record){
+		func(r *Record) { r.Time = time.Time{} },
+		func(r *Record) { r.Method = "" },
+		func(r *Record) { r.URL = "" },
+		func(r *Record) { r.URL = "/relative/only" },
+		func(r *Record) { r.Status = 0 },
+		func(r *Record) { r.Status = 700 },
+		func(r *Record) { r.Bytes = -1 },
+	}
+	for i, mutate := range cases {
+		r := sampleRecord()
+		mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+	}
+}
+
+func TestHashClientIPStable(t *testing.T) {
+	a := HashClientIP("203.0.113.9")
+	b := HashClientIP("203.0.113.9")
+	c := HashClientIP("203.0.113.10")
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("distinct IPs collided (unlikely)")
+	}
+}
+
+func TestCanonicalURL(t *testing.T) {
+	cases := map[string]string{
+		"HTTPS://Example.COM:443/a?b=2&a=1": "https://example.com/a?a=1&b=2",
+		"http://example.com:80/":            "http://example.com/",
+		"http://example.com:8080/x":         "http://example.com:8080/x",
+		"https://example.com/a#frag":        "https://example.com/a",
+		"https://example.com":               "https://example.com/",
+		"%%%bad":                            "%%%bad",
+	}
+	for in, want := range cases {
+		if got := CanonicalURL(in); got != want {
+			t.Errorf("CanonicalURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package ngram
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func benchSeqs(n, vocab, length int) [][]string {
+	rng := stats.NewRNG(5)
+	urls := make([]string, vocab)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("https://x.com/obj/%d", i)
+	}
+	out := make([][]string, n)
+	for c := range out {
+		seq := make([]string, length)
+		cur := rng.Intn(vocab)
+		for i := range seq {
+			if rng.Bool(0.5) {
+				cur = (cur + 1) % vocab
+			} else {
+				cur = rng.Intn(vocab)
+			}
+			seq[i] = urls[cur]
+		}
+		out[c] = seq
+	}
+	return out
+}
+
+func BenchmarkTrain(b *testing.B) {
+	seqs := benchSeqs(100, 500, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewModel(1)
+		for _, s := range seqs {
+			m.Train(s)
+		}
+	}
+}
+
+func BenchmarkPredictTopKOrders(b *testing.B) {
+	seqs := benchSeqs(300, 500, 40)
+	for _, order := range []int{1, 3, 5} {
+		m := NewModel(order)
+		for _, s := range seqs {
+			m.Train(s)
+		}
+		hist := seqs[0][:order]
+		b.Run(fmt.Sprintf("order-%d", order), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.PredictTopK(hist, 10)
+			}
+		})
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	seqs := benchSeqs(300, 500, 40)
+	m := NewModel(1)
+	for _, s := range seqs {
+		m.Train(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(seqs[0][:1], seqs[0][1])
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	seqs := benchSeqs(300, 500, 40)
+	m := NewModel(1)
+	for _, s := range seqs {
+		m.Train(s)
+	}
+	test := seqs[:30]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(m, test, 10)
+	}
+}

@@ -1,0 +1,300 @@
+// Package ngram implements the backoff ngram request-prediction model of
+// §5.2: transition counts from a history of up to N previously requested
+// URLs to the next URL in a client flow, with stupid-backoff scoring and
+// top-K prediction. Trained on client request flows split by client into
+// train and test sets, it reproduces Table 3 (accuracy for raw and
+// clustered URLs at K = 1, 5, 10).
+package ngram
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// backoffAlpha discounts candidates taken from shorter contexts, the
+// "stupid backoff" score of Brants et al.; the paper's lecture-notes
+// reference describes the same family.
+const backoffAlpha = 0.4
+
+// Model is a backoff ngram model over URL tokens. The zero value is not
+// usable; construct with NewModel. Model is not safe for concurrent use
+// during Train; concurrent PredictTopK/Score calls after training are
+// safe.
+type Model struct {
+	order int
+
+	vocab map[string]int32
+	words []string
+
+	// contexts maps an encoded token-ID context (length 0..order) to
+	// its continuation counts.
+	contexts map[string]*followers
+
+	// popCache is the unigram (global popularity) ranking, sorted by
+	// descending count; rebuilt lazily after training. It bounds the
+	// cost of backoff to the empty context, which otherwise scans the
+	// whole vocabulary per prediction.
+	popCache   []prediction
+	popVersion int
+	version    int
+}
+
+type followers struct {
+	counts map[int32]int
+	total  int
+}
+
+// NewModel returns a model that conditions on up to order previous
+// requests (order >= 1; the paper's N).
+func NewModel(order int) *Model {
+	if order < 1 {
+		order = 1
+	}
+	return &Model{
+		order:    order,
+		vocab:    make(map[string]int32),
+		contexts: make(map[string]*followers),
+	}
+}
+
+// Order returns the maximum history length.
+func (m *Model) Order() int { return m.order }
+
+// VocabSize returns the number of distinct tokens seen in training.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+func (m *Model) intern(tok string) int32 {
+	if id, ok := m.vocab[tok]; ok {
+		return id
+	}
+	id := int32(len(m.words))
+	m.vocab[tok] = id
+	m.words = append(m.words, tok)
+	return id
+}
+
+// encode packs a context window of token IDs into a map key.
+func encode(ids []int32) string {
+	buf := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
+	}
+	return string(buf)
+}
+
+// Train folds one client request flow (a time-ordered URL sequence) into
+// the model, updating transition counts for every context length from 1
+// up to the model order (plus the unigram popularity prior).
+func (m *Model) Train(seq []string) {
+	if len(seq) < 2 {
+		return
+	}
+	ids := make([]int32, len(seq))
+	for i, s := range seq {
+		ids[i] = m.intern(s)
+	}
+	for i := 1; i < len(ids); i++ {
+		next := ids[i]
+		// Unigram prior (empty context) captures global popularity,
+		// which the paper notes program analysis misses.
+		m.bump("", next)
+		for n := 1; n <= m.order && n <= i; n++ {
+			m.bump(encode(ids[i-n:i]), next)
+		}
+	}
+}
+
+func (m *Model) bump(ctx string, next int32) {
+	f := m.contexts[ctx]
+	if f == nil {
+		f = &followers{counts: make(map[int32]int)}
+		m.contexts[ctx] = f
+	}
+	f.counts[next]++
+	f.total++
+	m.version++
+}
+
+// popularity returns the cached global ranking, rebuilding if stale.
+func (m *Model) popularity() []prediction {
+	if m.popCache != nil && m.popVersion == m.version {
+		return m.popCache
+	}
+	f := m.contexts[""]
+	if f == nil {
+		return nil
+	}
+	cands := make([]prediction, 0, len(f.counts))
+	for id, c := range f.counts {
+		cands = append(cands, prediction{id: id, score: float64(c) / float64(f.total)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	m.popCache = cands
+	m.popVersion = m.version
+	return cands
+}
+
+// prediction is one candidate with its backoff score.
+type prediction struct {
+	id    int32
+	score float64
+}
+
+// PredictTopK returns up to k most probable next URLs given the history
+// (most recent last). Longer context matches outrank shorter ones via
+// backoff discounting; descent stops as soon as k candidates are
+// collected, and unknown histories fall back to the cached global
+// popularity ranking.
+func (m *Model) PredictTopK(history []string, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	ids, ok := m.lookupHistory(history)
+	if !ok {
+		// Unseen tokens in history: fall back entirely to popularity.
+		ids = nil
+	}
+	best := make(map[int32]float64, k*2)
+	weight := 1.0
+	for n := min(m.order, len(ids)); n >= 1 && len(best) < k; n-- {
+		f := m.contexts[encode(ids[len(ids)-n:])]
+		if f != nil {
+			for id, c := range f.counts {
+				score := weight * float64(c) / float64(f.total)
+				if score > best[id] {
+					best[id] = score
+				}
+			}
+		}
+		weight *= backoffAlpha
+	}
+	cands := make([]prediction, 0, len(best)+k)
+	for id, s := range best {
+		cands = append(cands, prediction{id: id, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) < k {
+		// Fill the remainder from global popularity, skipping ids
+		// already present.
+		for _, p := range m.popularity() {
+			if len(cands) >= k {
+				break
+			}
+			if _, seen := best[p.id]; seen {
+				continue
+			}
+			cands = append(cands, prediction{id: p.id, score: weight * p.score})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = m.words[cands[i].id]
+	}
+	return out
+}
+
+// Score returns the stupid-backoff score of next given the history; 0
+// means the model has never seen the token in any context. Scores are
+// comparable within one model and usable for anomaly ranking, but are
+// not normalized probabilities across backoff levels.
+func (m *Model) Score(history []string, next string) float64 {
+	nid, ok := m.vocab[next]
+	if !ok {
+		return 0
+	}
+	ids, _ := m.lookupHistory(history)
+	weight := 1.0
+	for n := min(m.order, len(ids)); n >= 0; n-- {
+		var key string
+		if n > 0 {
+			key = encode(ids[len(ids)-n:])
+		}
+		if f := m.contexts[key]; f != nil {
+			if c := f.counts[nid]; c > 0 {
+				return weight * float64(c) / float64(f.total)
+			}
+		}
+		weight *= backoffAlpha
+	}
+	return 0
+}
+
+// lookupHistory resolves history tokens to IDs, truncating to the model
+// order; ok is false if any token in the retained window is unknown.
+func (m *Model) lookupHistory(history []string) ([]int32, bool) {
+	if len(history) > m.order {
+		history = history[len(history)-m.order:]
+	}
+	ids := make([]int32, 0, len(history))
+	for _, h := range history {
+		id, ok := m.vocab[h]
+		if !ok {
+			return nil, false
+		}
+		ids = append(ids, id)
+	}
+	return ids, true
+}
+
+// EvalResult is the outcome of Evaluate.
+type EvalResult struct {
+	// Predictions is the number of next-request predictions attempted.
+	Predictions int
+	// Hits is how many times the true next request was in the top-K set.
+	Hits int
+}
+
+// Accuracy returns Hits/Predictions (0 for an empty evaluation).
+func (e EvalResult) Accuracy() float64 {
+	if e.Predictions == 0 {
+		return 0
+	}
+	return float64(e.Hits) / float64(e.Predictions)
+}
+
+// Evaluate replays test client flows through the model: at each position
+// past the first, it predicts the top-K next URLs from the previous
+// requests and scores a hit when the set contains the actual next URL.
+func Evaluate(m *Model, testSeqs [][]string, k int) EvalResult {
+	var res EvalResult
+	for _, seq := range testSeqs {
+		for i := 1; i < len(seq); i++ {
+			lo := i - m.order
+			if lo < 0 {
+				lo = 0
+			}
+			preds := m.PredictTopK(seq[lo:i], k)
+			res.Predictions++
+			for _, p := range preds {
+				if p == seq[i] {
+					res.Hits++
+					break
+				}
+			}
+		}
+	}
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

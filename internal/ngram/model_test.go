@@ -1,0 +1,184 @@
+package ngram
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestModelLearnsDeterministicChain(t *testing.T) {
+	m := NewModel(1)
+	for i := 0; i < 10; i++ {
+		m.Train([]string{"a", "b", "c", "a", "b", "c"})
+	}
+	if got := m.PredictTopK([]string{"a"}, 1); len(got) != 1 || got[0] != "b" {
+		t.Errorf("after a -> %v, want [b]", got)
+	}
+	if got := m.PredictTopK([]string{"b"}, 1); len(got) != 1 || got[0] != "c" {
+		t.Errorf("after b -> %v, want [c]", got)
+	}
+}
+
+func TestModelTopKOrdering(t *testing.T) {
+	m := NewModel(1)
+	// After x: y 3 times, z 2 times, w once.
+	m.Train([]string{"x", "y"})
+	m.Train([]string{"x", "y"})
+	m.Train([]string{"x", "y"})
+	m.Train([]string{"x", "z"})
+	m.Train([]string{"x", "z"})
+	m.Train([]string{"x", "w"})
+	got := m.PredictTopK([]string{"x"}, 3)
+	if len(got) != 3 || got[0] != "y" || got[1] != "z" || got[2] != "w" {
+		t.Errorf("topK = %v", got)
+	}
+	// K larger than candidates returns what exists.
+	if got := m.PredictTopK([]string{"x"}, 99); len(got) < 3 {
+		t.Errorf("large K = %v", got)
+	}
+	if got := m.PredictTopK([]string{"x"}, 0); got != nil {
+		t.Errorf("K=0 should be nil, got %v", got)
+	}
+}
+
+func TestModelBackoffToPopularity(t *testing.T) {
+	m := NewModel(1)
+	m.Train([]string{"a", "pop", "a", "pop", "a", "pop", "b", "rare"})
+	// Unknown history backs off to global popularity: "pop" and "a" tie
+	// on counts? pop appears as next 3 times, a twice, rare once.
+	got := m.PredictTopK([]string{"never-seen"}, 1)
+	if len(got) != 1 || got[0] != "pop" {
+		t.Errorf("backoff prediction = %v, want [pop]", got)
+	}
+}
+
+func TestModelLongerContextWins(t *testing.T) {
+	m := NewModel(2)
+	// Bigram a->c dominates, but trigram (z,a)->d should win given [z,a].
+	for i := 0; i < 10; i++ {
+		m.Train([]string{"q", "a", "c"})
+	}
+	for i := 0; i < 3; i++ {
+		m.Train([]string{"z", "a", "d"})
+	}
+	if got := m.PredictTopK([]string{"z", "a"}, 1); len(got) != 1 || got[0] != "d" {
+		t.Errorf("trigram context prediction = %v, want [d]", got)
+	}
+	if got := m.PredictTopK([]string{"q", "a"}, 1); got[0] != "c" {
+		t.Errorf("other trigram = %v, want [c]", got)
+	}
+}
+
+func TestModelScore(t *testing.T) {
+	m := NewModel(1)
+	m.Train([]string{"a", "b", "a", "b", "a", "c"})
+	sb := m.Score([]string{"a"}, "b")
+	sc := m.Score([]string{"a"}, "c")
+	if sb <= sc {
+		t.Errorf("Score(b)=%v should exceed Score(c)=%v", sb, sc)
+	}
+	if got := m.Score([]string{"a"}, "never"); got != 0 {
+		t.Errorf("unknown token score = %v", got)
+	}
+	// Backed-off score is discounted.
+	direct := m.Score([]string{"a"}, "b")
+	backed := m.Score([]string{"c"}, "b") // c->b never seen; falls to unigram
+	if backed >= direct {
+		t.Errorf("backed-off %v should be below direct %v", backed, direct)
+	}
+}
+
+func TestModelEmptyAndShortSequences(t *testing.T) {
+	m := NewModel(1)
+	m.Train(nil)
+	m.Train([]string{"only"})
+	if m.VocabSize() != 0 {
+		t.Errorf("vocab = %d after no-op training", m.VocabSize())
+	}
+	if got := m.PredictTopK([]string{"only"}, 5); got != nil {
+		t.Errorf("prediction from empty model = %v", got)
+	}
+}
+
+func TestNewModelClampsOrder(t *testing.T) {
+	if NewModel(0).Order() != 1 || NewModel(-3).Order() != 1 {
+		t.Error("order not clamped to 1")
+	}
+	if NewModel(5).Order() != 5 {
+		t.Error("order 5 not retained")
+	}
+}
+
+func TestEvaluatePerfectChain(t *testing.T) {
+	m := NewModel(1)
+	chain := []string{"a", "b", "c", "d"}
+	for i := 0; i < 5; i++ {
+		m.Train(chain)
+	}
+	res := Evaluate(m, [][]string{chain}, 1)
+	if res.Predictions != 3 || res.Hits != 3 {
+		t.Errorf("eval = %+v", res)
+	}
+	if res.Accuracy() != 1 {
+		t.Errorf("accuracy = %v", res.Accuracy())
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := NewModel(1)
+	res := Evaluate(m, nil, 5)
+	if res.Accuracy() != 0 || res.Predictions != 0 {
+		t.Errorf("empty eval = %+v", res)
+	}
+}
+
+func TestAccuracyImprovesWithK(t *testing.T) {
+	// Stochastic successors: top-1 < top-5 accuracy.
+	rng := stats.NewRNG(7)
+	m := NewModel(1)
+	gen := func(n int) [][]string {
+		var seqs [][]string
+		for c := 0; c < n; c++ {
+			seq := []string{"start"}
+			cur := 0
+			for i := 0; i < 30; i++ {
+				// successor: 45% primary, else one of 8 others.
+				var next int
+				if rng.Bool(0.45) {
+					next = (cur + 1) % 10
+				} else {
+					next = rng.Intn(10)
+				}
+				seq = append(seq, fmt.Sprintf("obj%d", next))
+				cur = next
+			}
+			seqs = append(seqs, seq)
+		}
+		return seqs
+	}
+	for _, seq := range gen(200) {
+		m.Train(seq)
+	}
+	test := gen(50)
+	a1 := Evaluate(m, test, 1).Accuracy()
+	a5 := Evaluate(m, test, 5).Accuracy()
+	a10 := Evaluate(m, test, 10).Accuracy()
+	if !(a1 < a5 && a5 < a10) {
+		t.Errorf("accuracy not increasing: %v %v %v", a1, a5, a10)
+	}
+	if a1 < 0.3 || a1 > 0.6 {
+		t.Errorf("top-1 accuracy = %v, want ~0.45", a1)
+	}
+	if a10 < 0.9 {
+		t.Errorf("top-10 over 10-object vocab = %v, want ~1", a10)
+	}
+}
+
+func TestVocabSize(t *testing.T) {
+	m := NewModel(1)
+	m.Train([]string{"a", "b", "a", "c"})
+	if m.VocabSize() != 3 {
+		t.Errorf("vocab = %d", m.VocabSize())
+	}
+}

@@ -1,0 +1,118 @@
+package ngram
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/logfmt"
+	"repro/internal/urlkit"
+)
+
+// Sequencer builds per-client URL request sequences from a log stream,
+// the input representation for training and evaluating the model. The
+// paper splits the dataset into train and test sets *by client*;
+// Sequencer does the same deterministic split by hashing the client key.
+// Sequencer is not safe for concurrent use.
+type Sequencer struct {
+	// Clustered applies urlkit.Cluster to every URL (the paper's
+	// clustered-URL vocabulary).
+	Clustered bool
+	// TestFraction is the share of clients assigned to the test set
+	// (default 0.25 when NewSequencer is used).
+	TestFraction float64
+	// Filter restricts which records contribute; nil admits all.
+	Filter logfmt.Filter
+
+	clients map[flows.ClientKey]*clientSeq
+}
+
+type clientSeq struct {
+	times []time.Time
+	urls  []string
+}
+
+// NewSequencer returns a sequencer with the defaults used in the paper's
+// evaluation (25% test clients).
+func NewSequencer() *Sequencer {
+	return &Sequencer{
+		TestFraction: 0.25,
+		clients:      make(map[flows.ClientKey]*clientSeq),
+	}
+}
+
+// Observe folds one record.
+func (s *Sequencer) Observe(r *logfmt.Record) {
+	if s.Filter != nil && !s.Filter(r) {
+		return
+	}
+	if s.clients == nil {
+		s.clients = make(map[flows.ClientKey]*clientSeq)
+	}
+	key := flows.ClientKeyFor(r)
+	cs := s.clients[key]
+	if cs == nil {
+		cs = &clientSeq{}
+		s.clients[key] = cs
+	}
+	url := logfmt.CanonicalURL(r.URL)
+	if s.Clustered {
+		url = urlkit.Cluster(url)
+	}
+	cs.times = append(cs.times, r.Time)
+	cs.urls = append(cs.urls, url)
+}
+
+// NumClients returns the number of distinct clients observed.
+func (s *Sequencer) NumClients() int { return len(s.clients) }
+
+// Split returns the train and test sequences. Each sequence is one
+// client's requests in time order; clients with fewer than two requests
+// are dropped (they yield no transitions). Assignment to the test set is
+// a deterministic function of the client key, so repeated runs agree.
+func (s *Sequencer) Split() (train, test [][]string) {
+	trainFlows, testFlows := s.SplitFlows()
+	urlsOf := func(fls [][]Step) [][]string {
+		out := make([][]string, len(fls))
+		for i, fl := range fls {
+			urls := make([]string, len(fl))
+			for j, st := range fl {
+				urls[j] = st.URL
+			}
+			out[i] = urls
+		}
+		return out
+	}
+	return urlsOf(trainFlows), urlsOf(testFlows)
+}
+
+// sortedKeys returns the client keys in deterministic order.
+func (s *Sequencer) sortedKeys() []flows.ClientKey {
+	keys := make([]flows.ClientKey, 0, len(s.clients))
+	for k := range s.clients {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ClientID != keys[j].ClientID {
+			return keys[i].ClientID < keys[j].ClientID
+		}
+		return keys[i].UAHash < keys[j].UAHash
+	})
+	return keys
+}
+
+// TrainAndEvaluate is the paper's Table 3 procedure in one call: build a
+// model of the given order from the train split and evaluate top-K
+// accuracy on the test split for each requested K.
+func (s *Sequencer) TrainAndEvaluate(order int, ks []int) (*Model, map[int]EvalResult) {
+	train, test := s.Split()
+	m := NewModel(order)
+	for _, seq := range train {
+		m.Train(seq)
+	}
+	out := make(map[int]EvalResult, len(ks))
+	for _, k := range ks {
+		out[k] = Evaluate(m, test, k)
+	}
+	return m, out
+}

@@ -1,0 +1,159 @@
+package ngram
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+var t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func seqRec(client uint64, url string, at time.Time) logfmt.Record {
+	return logfmt.Record{
+		Time: at, ClientID: client, Method: "GET", URL: url,
+		UserAgent: "NewsApp/3.1 (iPhone)", MIMEType: "application/json",
+		Status: 200, Bytes: 100, Cache: logfmt.CacheHit,
+	}
+}
+
+func TestSequencerBuildsOrderedSequences(t *testing.T) {
+	s := NewSequencer()
+	s.TestFraction = 0.0001 // effectively everything in train
+	// Feed out of order.
+	urls := []string{"https://x.com/1", "https://x.com/2", "https://x.com/3"}
+	offsets := []int{2, 0, 1}
+	for i, off := range offsets {
+		r := seqRec(1, urls[i], t0.Add(time.Duration(off)*time.Second))
+		s.Observe(&r)
+	}
+	train, test := s.Split()
+	all := append(train, test...)
+	if len(all) != 1 {
+		t.Fatalf("sequences = %d", len(all))
+	}
+	want := []string{"https://x.com/2", "https://x.com/3", "https://x.com/1"}
+	for i, u := range want {
+		if all[0][i] != u {
+			t.Errorf("seq[%d] = %q, want %q", i, all[0][i], u)
+		}
+	}
+}
+
+func TestSequencerSplitsByClient(t *testing.T) {
+	s := NewSequencer()
+	s.TestFraction = 0.5
+	for c := uint64(0); c < 200; c++ {
+		for i := 0; i < 3; i++ {
+			r := seqRec(c, "https://x.com/a", t0.Add(time.Duration(i)*time.Second))
+			s.Observe(&r)
+		}
+	}
+	train, test := s.Split()
+	if len(train)+len(test) != 200 {
+		t.Fatalf("train+test = %d", len(train)+len(test))
+	}
+	frac := float64(len(test)) / 200
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("test fraction = %v, want ~0.5", frac)
+	}
+	if s.NumClients() != 200 {
+		t.Errorf("clients = %d", s.NumClients())
+	}
+}
+
+func TestSequencerSplitDeterministic(t *testing.T) {
+	build := func() ([][]string, [][]string) {
+		s := NewSequencer()
+		for c := uint64(0); c < 50; c++ {
+			for i := 0; i < 3; i++ {
+				r := seqRec(c, "https://x.com/a", t0.Add(time.Duration(i)*time.Second))
+				s.Observe(&r)
+			}
+		}
+		return s.Split()
+	}
+	tr1, te1 := build()
+	tr2, te2 := build()
+	if len(tr1) != len(tr2) || len(te1) != len(te2) {
+		t.Fatal("split not deterministic")
+	}
+}
+
+func TestSequencerDropsSingletons(t *testing.T) {
+	s := NewSequencer()
+	r := seqRec(1, "https://x.com/only", t0)
+	s.Observe(&r)
+	train, test := s.Split()
+	if len(train)+len(test) != 0 {
+		t.Error("single-request client should be dropped")
+	}
+}
+
+func TestSequencerClustered(t *testing.T) {
+	s := NewSequencer()
+	s.Clustered = true
+	s.TestFraction = 0.0001
+	for i, u := range []string{"https://x.com/article/111", "https://x.com/article/222"} {
+		r := seqRec(1, u, t0.Add(time.Duration(i)*time.Second))
+		s.Observe(&r)
+	}
+	train, test := s.Split()
+	all := append(train, test...)
+	if len(all) != 1 {
+		t.Fatal("missing sequence")
+	}
+	if all[0][0] != all[0][1] {
+		t.Errorf("clustered URLs differ: %v", all[0])
+	}
+	if all[0][0] != "https://x.com/article/{num}" {
+		t.Errorf("template = %q", all[0][0])
+	}
+}
+
+func TestSequencerFilter(t *testing.T) {
+	s := NewSequencer()
+	s.Filter = logfmt.JSONOnly
+	r := seqRec(1, "https://x.com/a", t0)
+	r.MIMEType = "text/html"
+	s.Observe(&r)
+	if s.NumClients() != 0 {
+		t.Error("filtered record created a client")
+	}
+}
+
+func TestSequencerSeparatesUAs(t *testing.T) {
+	s := NewSequencer()
+	a := seqRec(1, "https://x.com/a", t0)
+	b := seqRec(1, "https://x.com/b", t0.Add(time.Second))
+	b.UserAgent = "OtherApp/1.0 (Android)"
+	s.Observe(&a)
+	s.Observe(&b)
+	if s.NumClients() != 2 {
+		t.Errorf("clients = %d, want 2 (distinct UAs)", s.NumClients())
+	}
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	s := NewSequencer()
+	// 100 clients all walking a->b->c->d.
+	urls := []string{"https://x.com/a", "https://x.com/b", "https://x.com/c", "https://x.com/d"}
+	for c := uint64(0); c < 100; c++ {
+		for rep := 0; rep < 3; rep++ {
+			for i, u := range urls {
+				r := seqRec(c, u, t0.Add(time.Duration(rep*4+i)*time.Second))
+				s.Observe(&r)
+			}
+		}
+	}
+	m, results := s.TrainAndEvaluate(1, []int{1, 5})
+	if m.VocabSize() != 4 {
+		t.Errorf("vocab = %d", m.VocabSize())
+	}
+	if acc := results[1].Accuracy(); acc < 0.6 {
+		t.Errorf("K=1 accuracy on deterministic chain = %v", acc)
+	}
+	if results[5].Accuracy() < results[1].Accuracy() {
+		t.Error("K=5 below K=1")
+	}
+}

@@ -1,0 +1,147 @@
+package prefetch
+
+import (
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+)
+
+// PushSimulator models the paper's other §5.2 delivery idea: HTTP
+// server push. Where prefetching warms the *edge cache*, push sends the
+// predicted next responses to the *client* alongside the current one, so
+// a correct prediction eliminates the next request's round trip
+// entirely. The simulator tracks each client's pushed-object set (with a
+// freshness lifetime) and counts how many requests were satisfied by a
+// previously pushed response versus how many pushed bytes went unused.
+type PushSimulator struct {
+	// Model supplies predictions; required.
+	Model *ngram.Model
+	// K is how many predicted objects to push per response.
+	K int
+	// Lifetime is how long a pushed response stays usable at the client
+	// (clients evict pushed data quickly; default 30 s via
+	// NewPushSimulator).
+	Lifetime time.Duration
+	// DefaultObjectSize estimates bytes for never-seen objects.
+	DefaultObjectSize int64
+
+	history map[flows.ClientKey][]string
+	pushed  map[flows.ClientKey]map[string]time.Time
+	sizes   map[string]int64
+
+	res PushResult
+}
+
+// PushResult accounts one push simulation.
+type PushResult struct {
+	// Requests is the number of replayed JSON GET requests.
+	Requests int64
+	// Eliminated counts requests satisfied by a pushed response: the
+	// client never had to ask.
+	Eliminated int64
+	// Pushes and PushedBytes count push transmissions.
+	Pushes      int64
+	PushedBytes int64
+	// UsedBytes is the pushed traffic that satisfied a request.
+	UsedBytes int64
+}
+
+// EliminationRate returns the share of requests removed by push.
+func (r PushResult) EliminationRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Eliminated) / float64(r.Requests)
+}
+
+// WastedBytes returns pushed bytes that never satisfied a request.
+func (r PushResult) WastedBytes() int64 { return r.PushedBytes - r.UsedBytes }
+
+// NewPushSimulator wraps a trained model with the defaults (push the
+// single most likely next object, 30 s client lifetime).
+func NewPushSimulator(model *ngram.Model) *PushSimulator {
+	return &PushSimulator{
+		Model:             model,
+		K:                 1,
+		Lifetime:          30 * time.Second,
+		DefaultObjectSize: 1024,
+		history:           make(map[flows.ClientKey][]string),
+		pushed:            make(map[flows.ClientKey]map[string]time.Time),
+		sizes:             make(map[string]int64),
+	}
+}
+
+// Observe replays one record. Only GET requests participate (uploads
+// cannot be pushed); non-GET records still advance client history.
+func (s *PushSimulator) Observe(r *logfmt.Record) {
+	if s.history == nil {
+		s.history = make(map[flows.ClientKey][]string)
+		s.pushed = make(map[flows.ClientKey]map[string]time.Time)
+		s.sizes = make(map[string]int64)
+	}
+	key := flows.ClientKeyFor(r)
+	url := logfmt.CanonicalURL(r.URL)
+	if r.Bytes > 0 {
+		s.sizes[url] = r.Bytes
+	}
+
+	if r.Method == "GET" {
+		s.res.Requests++
+		if exp, ok := s.pushed[key][url]; ok {
+			delete(s.pushed[key], url)
+			if r.Time.Before(exp) {
+				s.res.Eliminated++
+				size := s.sizes[url]
+				if size == 0 {
+					size = s.DefaultObjectSize
+				}
+				s.res.UsedBytes += size
+			}
+		}
+	}
+
+	h := append(s.history[key], url)
+	if len(h) > s.Model.Order() {
+		h = h[len(h)-s.Model.Order():]
+	}
+	s.history[key] = h
+
+	// Push the predicted next objects to this client.
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	preds := s.Model.PredictTopK(h, k)
+	if len(preds) == 0 {
+		return
+	}
+	pm := s.pushed[key]
+	if pm == nil {
+		pm = make(map[string]time.Time)
+		s.pushed[key] = pm
+	}
+	lifetime := s.Lifetime
+	if lifetime <= 0 {
+		lifetime = 30 * time.Second
+	}
+	for _, p := range preds {
+		if p == url {
+			continue
+		}
+		if exp, ok := pm[p]; ok && r.Time.Before(exp) {
+			continue // already fresh at the client
+		}
+		pm[p] = r.Time.Add(lifetime)
+		s.res.Pushes++
+		size := s.sizes[p]
+		if size == 0 {
+			size = s.DefaultObjectSize
+		}
+		s.res.PushedBytes += size
+	}
+}
+
+// Result returns the accumulated accounting.
+func (s *PushSimulator) Result() PushResult { return s.res }

@@ -1,0 +1,120 @@
+package prefetch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+)
+
+func pushModel() *ngram.Model {
+	m := ngram.NewModel(1)
+	for i := 0; i < 20; i++ {
+		m.Train([]string{"https://x.com/a", "https://x.com/b", "https://x.com/c"})
+	}
+	return m
+}
+
+func getRec(client uint64, url string, at time.Time) logfmt.Record {
+	return logfmt.Record{
+		Time: at, ClientID: client, Method: "GET", URL: url,
+		UserAgent: "App/1.0", MIMEType: "application/json",
+		Status: 200, Bytes: 500, Cache: logfmt.CacheMiss,
+	}
+}
+
+func TestPushEliminatesPredictedRequests(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	at := t0
+	for _, u := range []string{"https://x.com/a", "https://x.com/b", "https://x.com/c"} {
+		r := getRec(1, u, at)
+		s.Observe(&r)
+		at = at.Add(5 * time.Second)
+	}
+	res := s.Result()
+	if res.Requests != 3 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// a's response pushes b; b's request is eliminated; b pushes c.
+	if res.Eliminated != 2 {
+		t.Errorf("eliminated = %d, want 2 (b and c)", res.Eliminated)
+	}
+	if res.EliminationRate() < 0.6 {
+		t.Errorf("elimination rate = %v", res.EliminationRate())
+	}
+	if res.UsedBytes == 0 || res.PushedBytes < res.UsedBytes {
+		t.Errorf("byte accounting: %+v", res)
+	}
+}
+
+func TestPushLifetimeExpiry(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	s.Lifetime = 10 * time.Second
+	a := getRec(1, "https://x.com/a", t0)
+	s.Observe(&a)
+	// b arrives after the pushed copy expired.
+	b := getRec(1, "https://x.com/b", t0.Add(time.Minute))
+	s.Observe(&b)
+	if got := s.Result().Eliminated; got != 0 {
+		t.Errorf("expired push satisfied a request: %d", got)
+	}
+}
+
+func TestPushPerClientIsolation(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	a := getRec(1, "https://x.com/a", t0)
+	s.Observe(&a)
+	// A different client asking for b gets no benefit from client 1's push.
+	b := getRec(2, "https://x.com/b", t0.Add(time.Second))
+	s.Observe(&b)
+	if got := s.Result().Eliminated; got != 0 {
+		t.Errorf("cross-client push leak: %d", got)
+	}
+}
+
+func TestPushNoDuplicatePushes(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	// Two a-requests in quick succession push b only once.
+	r1 := getRec(1, "https://x.com/a", t0)
+	r2 := getRec(1, "https://x.com/a", t0.Add(2*time.Second))
+	s.Observe(&r1)
+	s.Observe(&r2)
+	if got := s.Result().Pushes; got != 1 {
+		t.Errorf("pushes = %d, want 1", got)
+	}
+}
+
+func TestPushPostAdvancesHistoryOnly(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	p := getRec(1, "https://x.com/a", t0)
+	p.Method = "POST"
+	s.Observe(&p)
+	res := s.Result()
+	if res.Requests != 0 {
+		t.Errorf("POST counted as request: %+v", res)
+	}
+	// But the prediction from the history still pushed b.
+	if res.Pushes == 0 {
+		t.Error("history not advanced by POST")
+	}
+}
+
+func TestPushWastedBytes(t *testing.T) {
+	s := NewPushSimulator(pushModel())
+	a := getRec(1, "https://x.com/a", t0)
+	s.Observe(&a) // pushes b, never requested
+	res := s.Result()
+	if res.WastedBytes() != res.PushedBytes {
+		t.Errorf("waste = %d, want all of %d", res.WastedBytes(), res.PushedBytes)
+	}
+}
+
+func TestPushZeroValueLazyInit(t *testing.T) {
+	s := &PushSimulator{Model: pushModel(), K: 1}
+	r := getRec(1, "https://x.com/a", t0)
+	s.Observe(&r) // must not panic with nil maps
+	if s.Result().Requests != 1 {
+		t.Error("zero-value simulator broken")
+	}
+}

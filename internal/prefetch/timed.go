@@ -1,0 +1,92 @@
+package prefetch
+
+import (
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/flows"
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+)
+
+// TimedSimulator extends the prefetch simulation with the paper's §5.2
+// future-work idea: use predicted interarrival times. A prefetched
+// object is only useful if the client asks for it before the cache TTL
+// expires, so predictions whose expected gap exceeds MaxGap are skipped,
+// trading a little hit ratio for less wasted origin traffic.
+type TimedSimulator struct {
+	sim *Simulator
+	tm  *ngram.TimedModel
+	// MaxGap is the largest expected interarrival worth prefetching
+	// for; predictions with a known longer gap are skipped. Zero
+	// disables filtering.
+	MaxGap time.Duration
+
+	// Skipped counts predictions suppressed by the gap filter.
+	Skipped int64
+}
+
+// NewTimedSimulator wraps a trained timed model. MaxGap defaults to the
+// cache TTL (a prefetch that outlives the TTL can never hit).
+func NewTimedSimulator(tm *ngram.TimedModel, cfg Config) *TimedSimulator {
+	cfg.sanitize()
+	ts := &TimedSimulator{
+		sim:    NewSimulator(tm.Model, cfg),
+		tm:     tm,
+		MaxGap: cfg.TTL,
+	}
+	return ts
+}
+
+// Observe replays one record, prefetching only predictions expected to
+// arrive within MaxGap.
+func (ts *TimedSimulator) Observe(r *logfmt.Record) {
+	s := ts.sim
+	url := logfmt.CanonicalURL(r.URL)
+	s.replay(r, url)
+	if r.Bytes > 0 {
+		s.sizes[url] = r.Bytes
+	}
+	key := flows.ClientKeyFor(r)
+	h := append(s.history[key], url)
+	if len(h) > s.cfg.HistoryLen {
+		h = h[len(h)-s.cfg.HistoryLen:]
+	}
+	s.history[key] = h
+
+	for _, pred := range ts.tm.PredictTimed(h, s.cfg.K) {
+		if ts.MaxGap > 0 && pred.Gap > ts.MaxGap {
+			ts.Skipped++
+			continue
+		}
+		s.prefetch(pred.URL, r.Time)
+	}
+}
+
+// Result returns the accumulated simulation result.
+func (ts *TimedSimulator) Result() Result { return ts.sim.Result() }
+
+// TimedComparison contrasts untimed and gap-filtered prefetching over
+// the same stream.
+type TimedComparison struct {
+	Baseline edge.ReplayResult
+	Untimed  Result
+	Timed    Result
+	// Skipped is the number of predictions the gap filter suppressed.
+	Skipped int64
+}
+
+// CompareTimed replays records three ways: no prefetch, plain prefetch,
+// and gap-filtered prefetch.
+func CompareTimed(tm *ngram.TimedModel, cfg Config, records func(func(*logfmt.Record))) TimedComparison {
+	cfg.sanitize()
+	base := Compare(tm.Model, cfg, records)
+	ts := NewTimedSimulator(tm, cfg)
+	records(func(r *logfmt.Record) { ts.Observe(r) })
+	return TimedComparison{
+		Baseline: base.Baseline,
+		Untimed:  base.Prefetch,
+		Timed:    ts.Result(),
+		Skipped:  ts.Skipped,
+	}
+}

@@ -1,0 +1,126 @@
+package prefetch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/ngram"
+)
+
+// timedWorkload builds clients that always fetch b right after a (2 s
+// gap) and fetch c a long time after b (10 min gap, far beyond the 60 s
+// TTL). A gap-aware prefetcher should prefetch b but skip c.
+func timedWorkload(clients int) []logfmt.Record {
+	var recs []logfmt.Record
+	at := t0
+	for c := 0; c < clients; c++ {
+		for rep := 0; rep < 3; rep++ {
+			for _, step := range []struct {
+				url string
+				gap time.Duration
+			}{
+				{"https://x.com/a", 5 * time.Minute},
+				{"https://x.com/b", 2 * time.Second},
+				{"https://x.com/c", 10 * time.Minute},
+			} {
+				at = at.Add(step.gap)
+				recs = append(recs, logfmt.Record{
+					Time: at, ClientID: uint64(c), Method: "GET", URL: step.url,
+					UserAgent: "App/1.0 (iPhone)", MIMEType: "application/json",
+					Status: 200, Bytes: 400, Cache: logfmt.CacheMiss,
+				})
+			}
+		}
+	}
+	return recs
+}
+
+func trainTimed(recs []logfmt.Record) *ngram.TimedModel {
+	s := ngram.NewSequencer()
+	s.TestFraction = 0.01
+	for i := range recs {
+		s.Observe(&recs[i])
+	}
+	train, _ := s.SplitFlows()
+	tm := ngram.NewTimedModel(1)
+	for _, flow := range train {
+		tm.TrainTimed(flow)
+	}
+	return tm
+}
+
+func TestTimedPrefetchSkipsSlowTransitions(t *testing.T) {
+	recs := timedWorkload(6)
+	tm := trainTimed(recs)
+	cfg := DefaultConfig()
+	cfg.K = 1
+	cmp := CompareTimed(tm, cfg, func(fn func(*logfmt.Record)) {
+		for i := range recs {
+			fn(&recs[i])
+		}
+	})
+	if cmp.Skipped == 0 {
+		t.Fatal("gap filter skipped nothing")
+	}
+	// The timed simulator must waste less than the untimed one.
+	if cmp.Timed.WasteRatio() >= cmp.Untimed.WasteRatio() {
+		t.Errorf("timed waste %.2f not below untimed %.2f",
+			cmp.Timed.WasteRatio(), cmp.Untimed.WasteRatio())
+	}
+	// And it must not lose the useful prefetches (a -> b hits).
+	if cmp.Timed.PrefetchedHits < cmp.Untimed.PrefetchedHits {
+		t.Errorf("timed lost useful hits: %d vs %d",
+			cmp.Timed.PrefetchedHits, cmp.Untimed.PrefetchedHits)
+	}
+	if cmp.Timed.PrefetchedBytes >= cmp.Untimed.PrefetchedBytes {
+		t.Errorf("timed bytes %d not below untimed %d",
+			cmp.Timed.PrefetchedBytes, cmp.Untimed.PrefetchedBytes)
+	}
+}
+
+func TestTimedPrefetchDisabledFilter(t *testing.T) {
+	recs := timedWorkload(3)
+	tm := trainTimed(recs)
+	ts := NewTimedSimulator(tm, DefaultConfig())
+	ts.MaxGap = 0 // disable
+	for i := range recs {
+		ts.Observe(&recs[i])
+	}
+	if ts.Skipped != 0 {
+		t.Errorf("disabled filter skipped %d", ts.Skipped)
+	}
+	if ts.Result().PrefetchesIssued == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+func TestTimedSimulatorDefaultsMaxGapToTTL(t *testing.T) {
+	tm := ngram.NewTimedModel(1)
+	cfg := DefaultConfig()
+	cfg.TTL = 42 * time.Second
+	ts := NewTimedSimulator(tm, cfg)
+	if ts.MaxGap != 42*time.Second {
+		t.Errorf("MaxGap = %v", ts.MaxGap)
+	}
+}
+
+func TestTimedUnknownGapStillPrefetched(t *testing.T) {
+	// A prediction with no gap estimate (Gap == 0) must not be skipped:
+	// absence of evidence is not a long gap.
+	tm := ngram.NewTimedModel(1)
+	tm.Train([]string{"https://x.com/a", "https://x.com/b"}) // untimed training: no gaps
+	ts := NewTimedSimulator(tm, DefaultConfig())
+	r := logfmt.Record{
+		Time: t0, ClientID: 1, Method: "GET", URL: "https://x.com/a",
+		UserAgent: "App/1.0", MIMEType: "application/json",
+		Status: 200, Bytes: 100, Cache: logfmt.CacheMiss,
+	}
+	ts.Observe(&r)
+	if ts.Result().PrefetchesIssued != 1 {
+		t.Errorf("prefetches = %d, want 1", ts.Result().PrefetchesIssued)
+	}
+	if ts.Skipped != 0 {
+		t.Errorf("skipped = %d", ts.Skipped)
+	}
+}

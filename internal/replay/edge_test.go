@@ -1,0 +1,16 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/edge"
+)
+
+// newTestEdge builds a small caching edge backed by the synthetic JSON
+// origin, shared by the integration test.
+func newTestEdge() *edge.HTTPEdge {
+	return &edge.HTTPEdge{
+		Cache:  edge.NewCache(8<<20, time.Minute, 2),
+		Origin: &edge.JSONOrigin{Articles: 20},
+	}
+}

@@ -1,0 +1,160 @@
+// Package replay drives recorded CDN log traffic against a live HTTP
+// endpoint, preserving per-request method, path, and user agent, and
+// compressing or stretching the original timing. It turns any dataset —
+// synthetic or captured — into a load-generation source for the
+// net/http edge (or any other server), which is how the liveedge stack
+// can be exercised with paper-shaped traffic.
+package replay
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a replay run.
+type Config struct {
+	// Target is the base URL ("http://127.0.0.1:8080") that replaces
+	// each record's scheme and host; required.
+	Target string
+	// Speed divides the recorded inter-arrival gaps (60 = one recorded
+	// hour replays in one minute). Values <= 0 default to 1.
+	Speed float64
+	// Concurrency bounds in-flight requests (default 16).
+	Concurrency int
+	// Timeout bounds each request (default 10 s).
+	Timeout time.Duration
+	// Client optionally overrides the HTTP client (tests inject one).
+	Client *http.Client
+}
+
+func (c *Config) sanitize() error {
+	if c.Target == "" {
+		return fmt.Errorf("replay: Config.Target required")
+	}
+	if c.Speed <= 0 {
+		c.Speed = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return nil
+}
+
+// Result summarizes a replay run.
+type Result struct {
+	// Sent counts requests issued; Errors counts transport failures.
+	Sent, Errors int64
+	// Status tallies response status codes.
+	Status map[int]int64
+	// Latency aggregates response times in seconds.
+	Latency stats.Summary
+	// Wall is the real elapsed time.
+	Wall time.Duration
+}
+
+// Run replays the records against the target. Records are sorted by
+// time; the first record fires immediately and later ones preserve the
+// recorded gaps divided by Speed. Run blocks until every request
+// completes or ctx is canceled; cancelation stops scheduling but lets
+// in-flight requests finish.
+func Run(ctx context.Context, records []logfmt.Record, cfg Config) (Result, error) {
+	if err := cfg.sanitize(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Status: make(map[int]int64)}
+	if len(records) == 0 {
+		return res, nil
+	}
+	sorted := make([]*logfmt.Record, len(records))
+	for i := range records {
+		sorted[i] = &records[i]
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Time.Before(sorted[j].Time)
+	})
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, cfg.Concurrency)
+		sent    int64
+		errs    int64
+		started = time.Now()
+		base    = sorted[0].Time
+	)
+	for _, rec := range sorted {
+		offset := time.Duration(float64(rec.Time.Sub(base)) / cfg.Speed)
+		wait := time.Until(started.Add(offset))
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				goto done
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			goto done
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			goto done
+		}
+		wg.Add(1)
+		go func(rec *logfmt.Record) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, latency, err := send(ctx, cfg, rec)
+			atomic.AddInt64(&sent, 1)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			res.Status[status]++
+			res.Latency.Add(latency.Seconds())
+		}(rec)
+	}
+done:
+	wg.Wait()
+	res.Sent = atomic.LoadInt64(&sent)
+	res.Errors = errs
+	res.Wall = time.Since(started)
+	return res, ctx.Err()
+}
+
+// send issues one request, preserving method, path+query, and user
+// agent.
+func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, time.Duration, error) {
+	url := cfg.Target + rec.Path()
+	req, err := http.NewRequestWithContext(ctx, rec.Method, url, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if rec.UserAgent != "" {
+		req.Header.Set("User-Agent", rec.UserAgent)
+	}
+	start := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, time.Since(start), nil
+}

@@ -1,0 +1,152 @@
+package replay
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+var t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func recAt(offset time.Duration, method, path, ua string) logfmt.Record {
+	return logfmt.Record{
+		Time: t0.Add(offset), ClientID: 1, Method: method,
+		URL: "https://orig.example.com" + path, UserAgent: ua,
+		MIMEType: "application/json", Status: 200, Bytes: 10,
+		Cache: logfmt.CacheHit,
+	}
+}
+
+func TestRunReplaysAllRecords(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	uas := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Method+" "+r.URL.String()]++
+		uas[r.UserAgent()]++
+		mu.Unlock()
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	records := []logfmt.Record{
+		recAt(0, "GET", "/v1/stories?page=1", "NewsApp/3.1 (iPhone)"),
+		recAt(10*time.Millisecond, "POST", "/ingest/m", "HomeCam/1.9"),
+		recAt(20*time.Millisecond, "GET", "/v1/article/1001", "NewsApp/3.1 (iPhone)"),
+	}
+	res, err := Run(context.Background(), records, Config{Target: srv.URL, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 3 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Status[200] != 3 {
+		t.Errorf("status = %v", res.Status)
+	}
+	if res.Latency.N() != 3 {
+		t.Errorf("latency samples = %d", res.Latency.N())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["GET /v1/stories?page=1"] != 1 || seen["POST /ingest/m"] != 1 {
+		t.Errorf("paths seen: %v", seen)
+	}
+	if uas["NewsApp/3.1 (iPhone)"] != 2 {
+		t.Errorf("user agents: %v", uas)
+	}
+}
+
+func TestRunSpeedCompressesTiming(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer srv.Close()
+	// 2 s of recorded spacing at 100x should replay in ~20 ms.
+	records := []logfmt.Record{
+		recAt(0, "GET", "/a", ""),
+		recAt(2*time.Second, "GET", "/b", ""),
+	}
+	start := time.Now()
+	res, err := Run(context.Background(), records, Config{Target: srv.URL, Speed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 2 {
+		t.Fatalf("sent = %d", res.Sent)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("replay took %v, want ~20ms at 100x", elapsed)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	var served int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&served, 1)
+	}))
+	defer srv.Close()
+	var records []logfmt.Record
+	for i := 0; i < 100; i++ {
+		records = append(records, recAt(time.Duration(i)*time.Second, "GET", "/x", ""))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, records, Config{Target: srv.URL, Speed: 1})
+	if err == nil {
+		t.Error("expected context error")
+	}
+	if res.Sent >= 100 {
+		t.Errorf("cancelation did not stop scheduling: sent %d", res.Sent)
+	}
+}
+
+func TestRunTransportErrors(t *testing.T) {
+	records := []logfmt.Record{recAt(0, "GET", "/a", "")}
+	res, err := Run(context.Background(), records, Config{
+		Target: "http://127.0.0.1:1", // nothing listens here
+		Client: &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 1 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+}
+
+func TestRunEmptyAndValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Config{}); err == nil {
+		t.Error("missing target accepted")
+	}
+	res, err := Run(context.Background(), nil, Config{Target: "http://x"})
+	if err != nil || res.Sent != 0 {
+		t.Errorf("empty replay: %v %+v", err, res)
+	}
+}
+
+func TestRunAgainstEdge(t *testing.T) {
+	// Replay synthetic manifest traffic against the real caching edge.
+	e := newTestEdge()
+	srv := httptest.NewServer(e)
+	defer srv.Close()
+	records := []logfmt.Record{
+		recAt(0, "GET", "/stories", "NewsApp/3.1 (iPhone)"),
+		recAt(5*time.Millisecond, "GET", "/stories", "NewsApp/3.1 (iPhone)"),
+		recAt(10*time.Millisecond, "GET", "/article/1001", "NewsApp/3.1 (iPhone)"),
+	}
+	res, err := Run(context.Background(), records, Config{Target: srv.URL, Speed: 1, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status[200] != 3 {
+		t.Fatalf("status = %v", res.Status)
+	}
+}

@@ -1,0 +1,165 @@
+package rollup
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+var t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(at time.Time, mime string, size int64) logfmt.Record {
+	return logfmt.Record{
+		Time: at, ClientID: 1, Method: "GET", URL: "https://x.com/a",
+		MIMEType: mime, Status: 200, Bytes: size, Cache: logfmt.CacheHit,
+	}
+}
+
+func TestRollupBucketsAndSeries(t *testing.T) {
+	r := New(time.Hour)
+	feeds := []struct {
+		offset time.Duration
+		mime   string
+		size   int64
+	}{
+		{0, "application/json", 100},
+		{10 * time.Minute, "application/json; charset=utf8", 200},
+		{30 * time.Minute, "text/html", 1000},
+		{90 * time.Minute, "application/json", 300},
+		// Hour 2 empty for JSON; hour 3 has one.
+		{3*time.Hour + time.Minute, "application/json", 400},
+	}
+	for _, f := range feeds {
+		rr := rec(t0.Add(f.offset), f.mime, f.size)
+		r.Observe(&rr)
+	}
+	if r.NumBuckets() != 3 {
+		t.Errorf("buckets = %d, want 3 non-empty", r.NumBuckets())
+	}
+	series := r.Series("application/json")
+	if len(series) != 4 {
+		t.Fatalf("series length = %d, want 4 (zero-filled)", len(series))
+	}
+	wantReqs := []int64{2, 1, 0, 1}
+	wantBytes := []int64{300, 300, 0, 400}
+	for i := range wantReqs {
+		if series[i].Requests != wantReqs[i] || series[i].Bytes != wantBytes[i] {
+			t.Errorf("bucket %d = %+v, want reqs=%d bytes=%d",
+				i, series[i], wantReqs[i], wantBytes[i])
+		}
+	}
+	if series[0].Start != t0 {
+		t.Errorf("first bucket start = %v", series[0].Start)
+	}
+	if got := r.Total("application/json"); got != 4 {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestRollupMIMENormalization(t *testing.T) {
+	r := New(time.Hour)
+	for _, mt := range []string{"APPLICATION/JSON", "application/json; charset=x", "application/json"} {
+		rr := rec(t0, mt, 1)
+		r.Observe(&rr)
+	}
+	if got := r.Total("Application/Json"); got != 3 {
+		t.Errorf("normalized total = %d", got)
+	}
+	empty := rec(t0, "", 1)
+	r.Observe(&empty)
+	if got := r.Total("unknown"); got != 1 {
+		t.Errorf("unknown total = %d", got)
+	}
+}
+
+func TestRollupRatio(t *testing.T) {
+	r := New(time.Hour)
+	// Hour 0: 4 json, 2 html -> 2.0; hour 1: 3 json, 0 html -> 0.
+	for i := 0; i < 4; i++ {
+		rr := rec(t0, "application/json", 1)
+		r.Observe(&rr)
+	}
+	for i := 0; i < 2; i++ {
+		rr := rec(t0, "text/html", 1)
+		r.Observe(&rr)
+	}
+	for i := 0; i < 3; i++ {
+		rr := rec(t0.Add(time.Hour), "application/json", 1)
+		r.Observe(&rr)
+	}
+	ratio := r.Ratio("application/json", "text/html")
+	if len(ratio) != 2 {
+		t.Fatalf("ratio points = %d", len(ratio))
+	}
+	if ratio[0].Y != 2 {
+		t.Errorf("hour 0 ratio = %v", ratio[0].Y)
+	}
+	if ratio[1].Y != 0 {
+		t.Errorf("hour 1 ratio (no html) = %v", ratio[1].Y)
+	}
+}
+
+func TestRollupMerge(t *testing.T) {
+	a, b := New(time.Hour), New(time.Hour)
+	ra := rec(t0, "application/json", 10)
+	rb := rec(t0, "application/json", 20)
+	rc := rec(t0.Add(time.Hour), "text/html", 30)
+	a.Observe(&ra)
+	b.Observe(&rb)
+	b.Observe(&rc)
+	a.Merge(b)
+	if a.Total("application/json") != 2 || a.Total("text/html") != 1 {
+		t.Errorf("merged totals wrong")
+	}
+	s := a.Series("application/json")
+	if s[0].Bytes != 30 {
+		t.Errorf("merged bytes = %d", s[0].Bytes)
+	}
+}
+
+func TestRollupMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	New(time.Hour).Merge(New(time.Minute))
+}
+
+func TestRollupConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bucket accepted")
+		}
+	}()
+	New(0)
+}
+
+func TestRollupEmpty(t *testing.T) {
+	r := New(time.Hour)
+	if r.Series("application/json") != nil {
+		t.Error("empty series should be nil")
+	}
+	if len(r.ContentTypes()) != 0 {
+		t.Error("empty content types")
+	}
+}
+
+func TestRollupContentTypes(t *testing.T) {
+	r := New(time.Hour)
+	for _, mt := range []string{"text/html", "application/json", "image/jpeg"} {
+		rr := rec(t0, mt, 1)
+		r.Observe(&rr)
+	}
+	got := r.ContentTypes()
+	want := []string{"application/json", "image/jpeg", "text/html"}
+	if len(got) != len(want) {
+		t.Fatalf("types = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("types[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks in [0, N) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative distribution so sampling is
+// O(log N) via binary search; this keeps the generator deterministic and
+// fast for the catalog sizes used by the synthetic workloads (up to a few
+// million objects).
+//
+// Zipf is safe for concurrent use because sampling only reads the
+// precomputed table; the caller supplies the RNG.
+type Zipf struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf returns a Zipf distribution over n ranks with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with n <= 0")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("stats: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// LogNormal samples positive values whose logarithm is normally
+// distributed; used for response sizes, which are heavy-tailed in CDN
+// traffic.
+type LogNormal struct {
+	// Mu and Sigma are the mean and standard deviation of log(X).
+	Mu, Sigma float64
+}
+
+// LogNormalFromMedianP90 constructs a LogNormal whose median and 90th
+// percentile match the given values. It returns an error if the inputs are
+// not strictly positive and increasing.
+func LogNormalFromMedianP90(median, p90 float64) (LogNormal, error) {
+	if median <= 0 || p90 <= median {
+		return LogNormal{}, fmt.Errorf("stats: need 0 < median < p90, got median=%g p90=%g", median, p90)
+	}
+	const z90 = 1.2815515655446004 // Phi^-1(0.9)
+	mu := math.Log(median)
+	sigma := (math.Log(p90) - mu) / z90
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample draws one value.
+func (l LogNormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Median returns exp(Mu), the distribution median.
+func (l LogNormal) Median() float64 { return math.Exp(l.Mu) }
+
+// Mean returns the distribution mean exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Quantile returns the q-quantile (0 < q < 1).
+func (l LogNormal) Quantile(q float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*normQuantile(q))
+}
+
+// Pareto samples values >= Xm with tail exponent Alpha; used for
+// session-length and inter-domain popularity tails.
+type Pareto struct {
+	Xm    float64 // scale (minimum value), > 0
+	Alpha float64 // tail exponent, > 0
+}
+
+// Sample draws one value.
+func (p Pareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Exponential samples nonnegative values with the given mean; used for
+// inter-arrival gaps of human-triggered requests.
+type Exponential struct {
+	Mean float64 // > 0
+}
+
+// Sample draws one value.
+func (e Exponential) Sample(r *RNG) float64 {
+	return e.Mean * r.ExpFloat64()
+}
+
+// normQuantile returns the standard normal quantile function Phi^-1(p)
+// using the Acklam rational approximation (relative error < 1.15e-9).
+func normQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// WeightedChoice selects indices in proportion to the given nonnegative
+// weights. Construction normalizes weights into a cumulative table;
+// sampling is O(log n) and read-only.
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice builds a sampler over len(weights) choices. It panics
+// if weights is empty, any weight is negative, or all weights are zero.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	if len(weights) == 0 {
+		panic("stats: NewWeightedChoice with no weights")
+	}
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: NewWeightedChoice with negative weight")
+		}
+		sum += w
+		cum[i] = sum
+	}
+	if sum == 0 {
+		panic("stats: NewWeightedChoice with all-zero weights")
+	}
+	inv := 1 / sum
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[len(cum)-1] = 1
+	return &WeightedChoice{cum: cum}
+}
+
+// Sample draws one index in [0, n).
+func (w *WeightedChoice) Sample(r *RNG) int {
+	return sort.SearchFloat64s(w.cum, r.Float64())
+}
+
+// N returns the number of choices.
+func (w *WeightedChoice) N() int { return len(w.cum) }

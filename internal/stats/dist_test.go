@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := NewRNG(1)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank 0 must dominate rank 10 which must dominate rank 90.
+	if !(counts[0] > counts[10] && counts[10] > counts[90]) {
+		t.Fatalf("zipf ordering violated: c0=%d c10=%d c90=%d", counts[0], counts[10], counts[90])
+	}
+	// For s=1, p(0)/p(9) = 10.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 7 || ratio > 13 {
+		t.Errorf("p(0)/p(9) = %v, want ~10", ratio)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("s=0 rank %d prob %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(7, 1.2)
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if v := z.Sample(r); v < 0 || v >= 7 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogNormalFromMedianP90(t *testing.T) {
+	ln, err := LogNormalFromMedianP90(1000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := ln.Median(); math.Abs(m-1000) > 1e-6 {
+		t.Errorf("median = %v, want 1000", m)
+	}
+	if q := ln.Quantile(0.9); math.Abs(q-10000)/10000 > 1e-6 {
+		t.Errorf("p90 = %v, want 10000", q)
+	}
+	// Empirical check.
+	r := NewRNG(3)
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = ln.Sample(r)
+	}
+	qs := Quantiles(vals, 0.5, 0.9)
+	if math.Abs(qs[0]-1000)/1000 > 0.05 {
+		t.Errorf("empirical median = %v", qs[0])
+	}
+	if math.Abs(qs[1]-10000)/10000 > 0.05 {
+		t.Errorf("empirical p90 = %v", qs[1])
+	}
+}
+
+func TestLogNormalFromMedianP90Errors(t *testing.T) {
+	if _, err := LogNormalFromMedianP90(0, 10); err == nil {
+		t.Error("want error for zero median")
+	}
+	if _, err := LogNormalFromMedianP90(10, 5); err == nil {
+		t.Error("want error for p90 < median")
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	p := Pareto{Xm: 5, Alpha: 2}
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if v := p.Sample(r); v < 5 {
+			t.Fatalf("pareto sample %v below Xm", v)
+		}
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 1}
+	r := NewRNG(5)
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = p.Sample(r)
+	}
+	med := Quantiles(vals, 0.5)[0]
+	if math.Abs(med-2) > 0.1 { // median of Pareto(1,1) is 2
+		t.Errorf("pareto median = %v, want 2", med)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{Mean: 30}
+	r := NewRNG(6)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(e.Sample(r))
+	}
+	if math.Abs(s.Mean()-30)/30 > 0.02 {
+		t.Errorf("exponential mean = %v, want 30", s.Mean())
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	// Check round-trip against known values.
+	cases := map[float64]float64{
+		0.5:       0,
+		0.9:       1.2815515655446004,
+		0.975:     1.959963984540054,
+		0.0013499: -3.0000, // ~Phi(-3)
+	}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-3 {
+			t.Errorf("normQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("normQuantile should return infinities at 0 and 1")
+	}
+	if !math.IsNaN(normQuantile(-0.5)) {
+		t.Error("normQuantile(-0.5) should be NaN")
+	}
+}
+
+func TestWeightedChoiceShares(t *testing.T) {
+	w := NewWeightedChoice([]float64{1, 2, 7})
+	r := NewRNG(7)
+	counts := make([]int, 3)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[w.Sample(r)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("choice %d share %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceZeroWeightNeverChosen(t *testing.T) {
+	w := NewWeightedChoice([]float64{0, 1, 0})
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		if got := w.Sample(r); got != 1 {
+			t.Fatalf("zero-weight choice %d selected", got)
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for _, ws := range [][]float64{nil, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeightedChoice(%v) did not panic", ws)
+				}
+			}()
+			NewWeightedChoice(ws)
+		}()
+	}
+}
+
+func TestWeightedChoiceAlwaysInRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, a, b, c uint8) bool {
+		ws := []float64{float64(a), float64(b), float64(c)}
+		if a == 0 && b == 0 && c == 0 {
+			return true // construction would panic, skip
+		}
+		w := NewWeightedChoice(ws)
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if v := w.Sample(r); v < 0 || v >= 3 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders analysis results as plain text so every experiment
+// runner can print the same tables and figures the paper reports without
+// any plotting dependency.
+
+// Table lays out rows of string cells under a header with column-aligned
+// plain-text output. The zero value is usable after SetHeader/AddRow.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// SetHeader sets the column titles.
+func (t *Table) SetHeader(cols ...string) { t.header = cols }
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends one row of formatted cells; each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing padding on the line.
+		s := b.String()
+		b.Reset()
+		b.WriteString(strings.TrimRight(s, " "))
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars scaled to fit width runes,
+// with the numeric value appended. Used for Fig. 3 (device shares) and
+// Fig. 5 (period histogram).
+func BarChart(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	lw := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > lw {
+			lw = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.4g\n", lw, labels[i],
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}
+
+// LineChart renders an ASCII scatter of points on a height x width grid
+// with min/max axis annotations. Used for Fig. 1 (ratio trend) and
+// Fig. 6 (CDF).
+func LineChart(points []Point, width, height int) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 15
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	for _, p := range points {
+		var cx, cy int
+		if spanX > 0 {
+			cx = int((p.X - minX) / spanX * float64(width-1))
+		}
+		if spanY > 0 {
+			cy = int((p.Y - minY) / spanY * float64(height-1))
+		}
+		grid[height-1-cy][cx] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: [%.4g, %.4g]\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "x: [%.4g, %.4g]\n", minX, maxX)
+	return b.String()
+}
+
+// Heatmap renders a matrix as a grid of intensity glyphs (space, ., :, -,
+// =, +, *, #, %, @ from low to high), scaled to the matrix maximum. Used
+// for Fig. 4.
+func Heatmap(m *Matrix) string {
+	glyphs := []byte(" .:-=+*#%@")
+	max := m.Max()
+	lw := 0
+	for _, l := range m.RowLabels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < m.Rows(); r++ {
+		fmt.Fprintf(&b, "%-*s |", lw, m.RowLabels[r])
+		for c := 0; c < m.Cols(); c++ {
+			g := glyphs[0]
+			if max > 0 {
+				i := int(m.At(r, c) / max * float64(len(glyphs)-1))
+				if i < 0 {
+					i = 0
+				}
+				if i >= len(glyphs) {
+					i = len(glyphs) - 1
+				}
+				g = glyphs[i]
+			}
+			b.WriteByte(g)
+			b.WriteByte(g) // double width for readability
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  cols: %s\n", lw, "", strings.Join(m.ColLabels, ", "))
+	return b.String()
+}
+
+// Percent formats a fraction as a percentage with one decimal.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,149 @@
+// Package stats provides the statistical substrate shared by the workload
+// generator and the analysis pipelines: deterministic random number
+// generation, the sampling distributions the generator draws from (Zipf,
+// lognormal, Pareto, exponential), streaming summaries, histograms,
+// empirical CDFs, matrices for heatmaps, and plain-text renderers for
+// tables and charts.
+//
+// Everything in this package is deterministic given a seed, allocation
+// conscious, and safe for concurrent use only where explicitly documented.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256**, seeded via splitmix64). It intentionally does not depend
+// on math/rand so that generated datasets are reproducible across Go
+// releases. The zero value is not usable; construct with NewRNG.
+//
+// RNG is not safe for concurrent use; give each goroutine its own RNG
+// (see Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := new(RNG)
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the state derived from seed.
+func (r *RNG) Reseed(seed uint64) {
+	// splitmix64 to spread the seed over the full state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Split derives an independent generator from r's stream. The derived
+// generator's sequence is a deterministic function of r's current state,
+// so Split is itself reproducible.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask32+a0*b1)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal deviate using the polar
+// (Marsaglia) method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed deviate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

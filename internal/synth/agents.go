@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file builds the user-agent pools for each traffic source
+// archetype. The pools reproduce the paper's reported *distinct UA
+// string* mix (73% mobile, 17% embedded, 3% desktop, 7% unknown) by
+// sizing each pool proportionally, while request volume shares are
+// controlled separately by the client population.
+
+// uaPools holds the generated user-agent strings per archetype.
+type uaPools struct {
+	mobileApp      []string
+	mobileBrowser  []string
+	desktopBrowser []string
+	desktopApp     []string
+	embedded       []string
+	unknown        []string // opaque but present user agents
+}
+
+func buildUAPools(rng *stats.RNG) *uaPools {
+	p := &uaPools{}
+
+	appNames := []string{
+		"NewsApp", "ScoreCenter", "StreamBox", "ChatNow", "ShopFast",
+		"BankSecure", "RideShare", "WeatherNow", "FitTrack", "PhotoShare",
+		"GameLobby", "MapQuestr", "PodPlayer", "MailDart", "TranslateGo",
+	}
+	iosVersions := []string{"11.4.1", "12.1.4", "12.2", "12.3"}
+	androidVersions := []string{"7.0", "8.0.0", "8.1.0", "9"}
+	androidModels := []string{"SM-G960F", "SM-N960U", "Pixel 3", "Moto G6", "LG-H870"}
+
+	// Mobile native apps: the largest pool. Mix of branded UAs,
+	// okhttp/CFNetwork SDK agents, and Dalvik agents.
+	for _, name := range appNames {
+		for _, v := range []string{"2.0", "3.1", "4.0.2"} {
+			ios := iosVersions[rng.Intn(len(iosVersions))]
+			p.mobileApp = append(p.mobileApp,
+				fmt.Sprintf("%s/%s (iPhone; iOS %s; Scale/2.00)", name, v, ios))
+			av := androidVersions[rng.Intn(len(androidVersions))]
+			model := androidModels[rng.Intn(len(androidModels))]
+			p.mobileApp = append(p.mobileApp,
+				fmt.Sprintf("%s/%s (Linux; Android %s; %s)", name, v, av, model))
+		}
+	}
+	for i := 0; i < 20; i++ {
+		p.mobileApp = append(p.mobileApp,
+			fmt.Sprintf("okhttp/3.%d.%d", 9+rng.Intn(4), rng.Intn(3)))
+		p.mobileApp = append(p.mobileApp,
+			fmt.Sprintf("AppSDK/%d CFNetwork/978.0.7 Darwin/18.5.0", 300+rng.Intn(200)))
+		av := androidVersions[rng.Intn(len(androidVersions))]
+		model := androidModels[rng.Intn(len(androidModels))]
+		p.mobileApp = append(p.mobileApp,
+			fmt.Sprintf("Dalvik/2.1.0 (Linux; U; Android %s; %s Build/OPM1)", av, model))
+	}
+
+	for _, ios := range iosVersions {
+		iosTok := replaceDots(ios)
+		p.mobileBrowser = append(p.mobileBrowser,
+			fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS %s like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/12.1 Mobile/15E148 Safari/604.1", iosTok),
+			fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS %s like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/74.0.3729.121 Mobile/15E148 Safari/605.1", iosTok))
+	}
+	for _, av := range androidVersions {
+		model := androidModels[rng.Intn(len(androidModels))]
+		p.mobileBrowser = append(p.mobileBrowser,
+			fmt.Sprintf("Mozilla/5.0 (Linux; Android %s; %s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/74.0.3729.136 Mobile Safari/537.36", av, model))
+	}
+
+	p.desktopBrowser = []string{
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36",
+		"Mozilla/5.0 (Windows NT 6.1; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/73.0.3683.103 Safari/537.36",
+		"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_14_4) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/12.1 Safari/605.1.15",
+		"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_6) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36",
+		"Mozilla/5.0 (X11; Linux x86_64; rv:66.0) Gecko/20100101 Firefox/66.0",
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36 Edg/74.1.96.24",
+	}
+	p.desktopApp = []string{
+		"WeatherDesk/5.2 (Windows NT 10.0; x64)",
+		"TraderTerminal/9.0 (Macintosh; Intel Mac OS X 10_14)",
+		"SyncAgent/3.3 (X11; Linux x86_64)",
+	}
+
+	// Embedded: consoles, TVs, watches, set-tops, IoT. Firmware version
+	// variants widen the distinct-UA pool toward the paper's 17% share
+	// of UA strings.
+	embeddedBases := []string{
+		"Mozilla/5.0 (PlayStation 4 %s) AppleWebKit/605.1.15 (KHTML, like Gecko)",
+		"Mozilla/5.0 (PlayStation 3 %s) AppleWebKit/531.22.8 (KHTML, like Gecko)",
+		"Mozilla/5.0 (Nintendo Switch; WebApplet) AppleWebKit/606.4 (KHTML, like Gecko) NF/%s",
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64; Xbox; Xbox One) AppleWebKit/537.36 (KHTML, like Gecko) fw/%s",
+		"Roku/DVP-9.10 (519.10E%s)",
+		"Mozilla/5.0 (SMART-TV; Linux; Tizen 5.0) AppleWebKit/537.36 TV/%s",
+		"Mozilla/5.0 (smart-tv; linux; bravia) AppleWebKit/537.36 BRAVIA/%s",
+		"AppleTV11,1/%s",
+		"ScoreApp/2.0 (Apple Watch; watchOS %s)",
+		"FitTrack/4.4 (Wear OS %s; sawshark)",
+		"HomeCam/1.9 (IoT; ESP32; fw %s)",
+		"ThermoSense/2.2 (IoT; micropython %s)",
+		"StickCast/3.1 (CrKey armv7l 1.42.%s)",
+	}
+	for _, base := range embeddedBases {
+		for v := 0; v < 3; v++ {
+			p.embedded = append(p.embedded,
+				fmt.Sprintf(base, fmt.Sprintf("%d.%d%d", 4+v, rng.Intn(9), rng.Intn(9))))
+		}
+	}
+
+	// Opaque-but-present agents (unidentifiable): version strings,
+	// internal tool names, bare tokens.
+	for i := 0; i < 8; i++ {
+		p.unknown = append(p.unknown, fmt.Sprintf("svc-%02d/%d.%d", i, 1+rng.Intn(4), rng.Intn(10)))
+	}
+	p.unknown = append(p.unknown,
+		"curl/7.64.0",
+		"python-requests/2.21.0",
+		"Go-http-client/1.1",
+		"Java/1.8.0_202",
+	)
+	return p
+}
+
+func replaceDots(v string) string {
+	out := make([]byte, len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '.' {
+			out[i] = '_'
+		} else {
+			out[i] = v[i]
+		}
+	}
+	return string(out)
+}
+
+// pickUA draws one agent from a pool, Zipf-weighted so a few agent
+// versions dominate (as app-store version distributions do).
+func pickUA(pool []string, rng *stats.RNG) string {
+	if len(pool) == 0 {
+		return ""
+	}
+	// Cheap rank-biased choice: square of a uniform biases to low ranks.
+	u := rng.Float64()
+	i := int(u * u * float64(len(pool)))
+	if i >= len(pool) {
+		i = len(pool) - 1
+	}
+	return pool[i]
+}

@@ -1,0 +1,255 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// actor is one simulated client. fire emits the actor's records for the
+// current wake-up via g.emit and returns the next wake-up time; a zero
+// time retires the actor.
+type actor interface {
+	fire(now time.Time, g *generator) time.Time
+}
+
+// Behavioral constants shared by actors and the population sizing in
+// engine.go. Changing one changes both, keeping sizing consistent.
+const (
+	appThinkMean      = 12.0 // seconds between in-session requests
+	appIdleMean       = 90.0 // seconds between sessions
+	appSessionLen     = 12   // mean content fetches per session
+	appImageProb      = 0.35 // non-JSON asset fetch per content view
+	appPostProb       = 0.112
+	appOtherProb      = 0.007
+	browserPageGap    = 40.0 // seconds between page loads
+	browserJSONPerPg  = 2
+	browserAssetPerPg = 3
+	embThinkMean      = 20.0
+	embSessionLen     = 8
+	embIdleMean       = 120.0
+	embImageProb      = 0.30
+	unknownGapMean    = 20.0
+	cacheTTL          = 60 * time.Second
+	assetTTL          = 10 * time.Minute
+)
+
+// appClient models a native application (mobile, embedded, or desktop)
+// driving the manifest pattern of Table 1: fetch a feed manifest, then
+// walk content objects along the app's successor graph, occasionally
+// fetching referenced media (non-JSON) and posting actions.
+type appClient struct {
+	id        uint64
+	ua        string
+	domain    *Domain
+	rng       *stats.RNG
+	token     string // per-client session token; "" when unused
+	browsing  bool
+	remaining int
+	current   int // current content index
+	thinkMean float64
+	idleMean  float64
+	sessLen   int
+	imageProb float64
+}
+
+func newAppClient(id uint64, ua string, d *Domain, rng *stats.RNG, embedded bool) *appClient {
+	c := &appClient{
+		id: id, ua: ua, domain: d, rng: rng,
+		thinkMean: appThinkMean, idleMean: appIdleMean,
+		sessLen: appSessionLen, imageProb: appImageProb,
+	}
+	if embedded {
+		c.thinkMean, c.idleMean = embThinkMean, embIdleMean
+		c.sessLen, c.imageProb = embSessionLen, embImageProb
+	}
+	if rng.Bool(d.App.SessionTokenProb) {
+		c.token = fmt.Sprintf("sid=%016xa%dz", rng.Uint64(), rng.Intn(90)+10)
+	}
+	return c
+}
+
+func (c *appClient) fire(now time.Time, g *generator) time.Time {
+	m := c.domain.App
+	if !c.browsing {
+		// Session start: fetch a manifest.
+		c.browsing = true
+		c.remaining = 1 + int(stats.Exponential{Mean: float64(c.sessLen)}.Sample(c.rng))
+		c.current = m.EntryContent(c.rng)
+		url := m.Manifests[c.rng.Intn(len(m.Manifests))]
+		g.emitJSON(c.id, c.ua, "GET", url, c.domain, now)
+		return now.Add(c.think())
+	}
+	// Content view.
+	url := m.Contents[c.current]
+	if c.token != "" {
+		url += "?" + c.token
+	}
+	method := "GET"
+	switch v := c.rng.Float64(); {
+	case v < appPostProb:
+		method = "POST"
+	case v < appPostProb+appOtherProb:
+		method = "HEAD"
+	}
+	g.emitJSON(c.id, c.ua, method, url, c.domain, now)
+	if c.rng.Bool(c.imageProb) {
+		img := fmt.Sprintf("https://%s/media/img%d.jpg", c.domain.Name, 1000+c.current)
+		g.emitAsset(c.id, c.ua, img, "image/jpeg", now.Add(time.Duration(c.rng.Intn(900))*time.Millisecond))
+	}
+	c.remaining--
+	if c.remaining <= 0 {
+		c.browsing = false
+		return now.Add(c.idle(now.Add(g.cfg.UTCOffset)))
+	}
+	c.current = m.NextContent(c.current, c.rng)
+	return now.Add(c.think())
+}
+
+func (c *appClient) think() time.Duration {
+	return secs(stats.Exponential{Mean: c.thinkMean}.Sample(c.rng))
+}
+
+func (c *appClient) idle(now time.Time) time.Duration {
+	// Human inter-session gaps follow a diurnal cycle: long at night,
+	// short in the evening peak. Machine traffic (pollers) is
+	// deliberately not modulated — its flat rate against the human
+	// cycle is part of what makes it identifiable.
+	mean := c.idleMean * diurnalIdleScale(now)
+	return secs(stats.Exponential{Mean: mean}.Sample(c.rng))
+}
+
+// diurnalIdleScale stretches idle gaps away from the activity peak.
+// Activity peaks around 20:00 local (scale ~0.7) and bottoms out around
+// 04:00 (scale ~2.6), a mild day/night swing visible in day-long
+// datasets without starving any hour.
+func diurnalIdleScale(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	// Cosine centered on the 20:00 peak.
+	phase := (h - 20) / 24 * 2 * math.Pi
+	activity := 0.62 + 0.38*math.Cos(phase)
+	return 1 / activity
+}
+
+// browserClient models browser page loads: each load fetches an HTML
+// document, several static assets, and a couple of JSON XHRs.
+type browserClient struct {
+	id     uint64
+	ua     string
+	domain *Domain
+	rng    *stats.RNG
+	page   int
+}
+
+func (c *browserClient) fire(now time.Time, g *generator) time.Time {
+	c.page++
+	d := c.domain
+	html := fmt.Sprintf("https://%s/pages/p%d.html", d.Name, c.page%24)
+	g.emitHTML(c.id, c.ua, html, now)
+	for i := 0; i < browserAssetPerPg; i++ {
+		asset := fmt.Sprintf("https://%s/static/app%d.js", d.Name, i)
+		g.emitAsset(c.id, c.ua, asset, "application/javascript", now.Add(time.Duration(50+i*30)*time.Millisecond))
+	}
+	m := d.App
+	cur := m.EntryContent(c.rng)
+	for i := 0; i < browserJSONPerPg; i++ {
+		at := now.Add(time.Duration(200+i*150) * time.Millisecond)
+		method := "GET"
+		if c.rng.Bool(appPostProb) {
+			method = "POST"
+		}
+		g.emitJSON(c.id, c.ua, method, m.Contents[cur], d, at)
+		cur = m.NextContent(cur, c.rng)
+	}
+	gap := browserPageGap * diurnalIdleScale(now.Add(g.cfg.UTCOffset))
+	return now.Add(secs(stats.Exponential{Mean: gap}.Sample(c.rng)))
+}
+
+// pollTarget is one machine-to-machine object: a URL polled by a fleet
+// of clients at a fixed period (§5.1).
+type pollTarget struct {
+	url         string
+	domain      *Domain
+	period      time.Duration
+	upload      bool
+	uncacheable bool
+	size        int64
+}
+
+// pollClient requests its target every period with small network jitter,
+// the machine-generated behavior behind Fig. 5's spikes.
+type pollClient struct {
+	id     uint64
+	ua     string
+	target *pollTarget
+	rng    *stats.RNG
+}
+
+func (c *pollClient) fire(now time.Time, g *generator) time.Time {
+	method := "GET"
+	if c.target.upload {
+		method = "POST"
+	}
+	g.emitPoll(c.id, c.ua, method, c.target, now)
+	// Jitter: +/- ~400 ms of the nominal period, as program and network
+	// delays would add.
+	jitter := time.Duration((c.rng.Float64() - 0.5) * 8e8)
+	return now.Add(c.target.period + jitter)
+}
+
+// sporadicClient requests one poll target at random (exponential) gaps;
+// these clients share the object flow with pollers but have no period,
+// diluting Fig. 6's per-object periodic-client share.
+type sporadicClient struct {
+	id      uint64
+	ua      string
+	target  *pollTarget
+	rng     *stats.RNG
+	gapMean float64
+}
+
+func (c *sporadicClient) fire(now time.Time, g *generator) time.Time {
+	method := "GET"
+	if c.target.upload && c.rng.Bool(0.7) {
+		method = "POST"
+	}
+	g.emitPoll(c.id, c.ua, method, c.target, now)
+	return now.Add(secs(stats.Exponential{Mean: c.gapMean}.Sample(c.rng)))
+}
+
+// unknownClient models scripted traffic with missing or opaque user
+// agents: steady Zipf-popular object fetches against one domain.
+type unknownClient struct {
+	id      uint64
+	ua      string // usually ""
+	domain  *Domain
+	rng     *stats.RNG
+	scan    bool // sequential scan (crawler-like) vs popularity sampling
+	nextIdx int
+}
+
+func (c *unknownClient) fire(now time.Time, g *generator) time.Time {
+	m := c.domain.App
+	var url string
+	if c.scan {
+		url = m.Contents[c.nextIdx%len(m.Contents)]
+		c.nextIdx++
+	} else {
+		url = m.Contents[m.tail.Sample(c.rng)]
+	}
+	method := "GET"
+	if c.rng.Bool(appPostProb) {
+		method = "POST"
+	}
+	g.emitJSON(c.id, c.ua, method, url, c.domain, now)
+	return now.Add(secs(stats.Exponential{Mean: unknownGapMean}.Sample(c.rng)))
+}
+
+func secs(s float64) time.Duration {
+	if s < 0.05 {
+		s = 0.05
+	}
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,255 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domaincat"
+	"repro/internal/stats"
+)
+
+// CachePolicy is a domain's CDN cacheability configuration. The paper
+// finds ~50% of domains never cache on the CDN, ~30% always cache, and
+// the rest mix (Fig. 4 discussion).
+type CachePolicy uint8
+
+const (
+	// PolicyNever marks domains whose JSON is always uncacheable
+	// (personalized or one-time-use content).
+	PolicyNever CachePolicy = iota
+	// PolicyAlways marks domains serving fully static JSON.
+	PolicyAlways
+	// PolicyMixed marks domains with per-object configuration.
+	PolicyMixed
+)
+
+// String returns a short policy label.
+func (p CachePolicy) String() string {
+	switch p {
+	case PolicyNever:
+		return "never"
+	case PolicyAlways:
+		return "always"
+	default:
+		return "mixed"
+	}
+}
+
+// Domain is one CDN customer property in the synthetic universe.
+type Domain struct {
+	// Name is the domain name; it embeds a category keyword so that
+	// keyword-based categorization agrees with the assigned category.
+	Name string
+	// Category is the industry category (Fig. 4).
+	Category domaincat.Category
+	// Policy is the domain's cacheability configuration.
+	Policy CachePolicy
+	// MixedCacheProb is the per-object probability of being cacheable
+	// when Policy is PolicyMixed.
+	MixedCacheProb float64
+	// Weight is the domain's relative traffic volume.
+	Weight float64
+
+	// App is the request-chain model used by application clients of
+	// this domain (manifests, content objects, successor structure).
+	App *AppModel
+}
+
+// categoryProfile describes how a category's domains behave, derived
+// from Fig. 4: News/Media, Sports, Entertainment serve highly static
+// content; Financial, Streaming, Gaming serve personalized or
+// one-time-use content.
+type categoryProfile struct {
+	cat        domaincat.Category
+	nameStem   string // keyword embedded in generated names
+	pNever     float64
+	pAlways    float64 // remainder is mixed
+	domainFrac float64 // share of the domain universe
+}
+
+var categoryProfiles = []categoryProfile{
+	{domaincat.CategoryNewsMedia, "news", 0.10, 0.70, 0.12},
+	{domaincat.CategorySports, "sports", 0.12, 0.66, 0.09},
+	{domaincat.CategoryEntertainment, "showtv", 0.18, 0.58, 0.09},
+	{domaincat.CategoryFinancial, "bank", 0.88, 0.04, 0.10},
+	{domaincat.CategoryStreaming, "stream", 0.82, 0.06, 0.10},
+	{domaincat.CategoryGaming, "game", 0.80, 0.06, 0.11},
+	{domaincat.CategoryRetail, "shop", 0.55, 0.22, 0.09},
+	{domaincat.CategoryTechnology, "cloudapi", 0.45, 0.30, 0.10},
+	{domaincat.CategoryTravel, "travel", 0.50, 0.25, 0.06},
+	{domaincat.CategorySocial, "chat", 0.70, 0.10, 0.08},
+	{domaincat.CategoryAdsAnalytics, "track", 0.60, 0.18, 0.06},
+}
+
+// Universe is the synthetic domain population plus derived samplers.
+type Universe struct {
+	Domains []*Domain
+	// Catalog maps every generated domain to its category.
+	Catalog *domaincat.Catalog
+
+	pick *stats.WeightedChoice
+}
+
+// BuildUniverse creates n domains distributed over the category
+// profiles, with Zipf-like traffic weights so a few domains dominate
+// volume, as on a real CDN.
+func BuildUniverse(n int, rng *stats.RNG) *Universe {
+	if n <= 0 {
+		panic("synth: BuildUniverse with n <= 0")
+	}
+	u := &Universe{Catalog: domaincat.NewCatalog()}
+	// Allocate counts per category (largest remainder keeps the total).
+	counts := make([]int, len(categoryProfiles))
+	assigned := 0
+	for i, p := range categoryProfiles {
+		counts[i] = int(p.domainFrac * float64(n))
+		assigned += counts[i]
+	}
+	for i := 0; assigned < n; i, assigned = (i+1)%len(counts), assigned+1 {
+		counts[i]++
+	}
+	for ci, p := range categoryProfiles {
+		for j := 0; j < counts[ci]; j++ {
+			d := &Domain{
+				Name:     fmt.Sprintf("api.%s%d.example.com", p.nameStem, j),
+				Category: p.cat,
+			}
+			switch v := rng.Float64(); {
+			case v < p.pNever:
+				d.Policy = PolicyNever
+			case v < p.pNever+p.pAlways:
+				d.Policy = PolicyAlways
+			default:
+				d.Policy = PolicyMixed
+				d.MixedCacheProb = 0.3 + 0.4*rng.Float64()
+			}
+			d.App = buildAppModel(d, rng)
+			u.Catalog.Register(d.Name, d.Category)
+			u.Domains = append(u.Domains, d)
+		}
+	}
+	// Zipf-ish traffic weights assigned over a *shuffled* rank order so
+	// volume does not correlate with category. A mild tilt makes
+	// always-cacheable domains slightly more popular (large media
+	// properties cache aggressively), which lands the request-weighted
+	// uncacheable share near the paper's 55% while the domain-level
+	// policy split stays ~50/30/20.
+	ranks := rng.Perm(n)
+	weights := make([]float64, n)
+	for i, d := range u.Domains {
+		w := math.Pow(1/float64(ranks[i]+1), 0.8) * (0.5 + rng.Float64())
+		switch d.Policy {
+		case PolicyAlways:
+			w *= 1.15
+		case PolicyNever:
+			w *= 0.9
+		}
+		d.Weight = w
+		weights[i] = w
+	}
+	u.pick = stats.NewWeightedChoice(weights)
+	return u
+}
+
+// SampleDomain draws a domain in proportion to traffic weight.
+func (u *Universe) SampleDomain(rng *stats.RNG) *Domain {
+	return u.Domains[u.pick.Sample(rng)]
+}
+
+// ObjectCacheable decides whether one object on the domain is
+// configured cacheable, given the domain policy.
+func (d *Domain) ObjectCacheable(rng *stats.RNG) bool {
+	switch d.Policy {
+	case PolicyNever:
+		return false
+	case PolicyAlways:
+		return true
+	default:
+		return rng.Bool(d.MixedCacheProb)
+	}
+}
+
+// AppModel is the per-domain application request-chain structure: a set
+// of manifest objects that sessions start from, content objects
+// reachable from them, and a successor graph with one dominant next
+// object per state (giving the ~70% next-request predictability of
+// §5.2) plus a popularity tail.
+type AppModel struct {
+	// Manifests are session entry objects ("/api/v1/<feed>").
+	Manifests []string
+	// Contents are content object paths ("/api/v1/article/<id>").
+	Contents []string
+	// primary[i] is the dominant successor content index of content i.
+	primary []int
+	// PrimaryProb is the probability of following the dominant edge.
+	PrimaryProb float64
+	// tail samples non-primary successors by popularity.
+	tail *stats.Zipf
+	// SessionTokenProb is the probability that a client's content
+	// requests carry a per-client opaque query token, which fragments
+	// raw-URL vocabularies but clusters away (§5.2's clustered URLs).
+	SessionTokenProb float64
+	// sizes samples response body sizes for this domain's JSON.
+	sizes stats.LogNormal
+}
+
+// buildAppModel creates the request-chain structure for one domain.
+func buildAppModel(d *Domain, rng *stats.RNG) *AppModel {
+	nManifests := 1 + rng.Intn(3)
+	nContents := 20 + rng.Intn(60)
+	m := &AppModel{
+		PrimaryProb:      0.5,
+		SessionTokenProb: 0.08,
+		tail:             stats.NewZipf(nContents, 1.1),
+	}
+	// Several content kinds per domain so that URL clustering yields
+	// multiple templates per application rather than collapsing the
+	// whole catalog onto one (which would make clustered prediction
+	// trivially accurate).
+	kinds := [...]string{"article", "item", "score", "clip", "offer", "card"}
+	kindOffset := rng.Intn(len(kinds))
+	nKinds := 2 + rng.Intn(3)
+	for i := 0; i < nManifests; i++ {
+		m.Manifests = append(m.Manifests, fmt.Sprintf("https://%s/v1/feed/%d", d.Name, i))
+	}
+	for i := 0; i < nContents; i++ {
+		kind := kinds[(kindOffset+i%nKinds)%len(kinds)]
+		m.Contents = append(m.Contents, fmt.Sprintf("https://%s/v1/%s/%d", d.Name, kind, 1000+i))
+	}
+	m.primary = make([]int, nContents)
+	for i := range m.primary {
+		m.primary[i] = (i + 1) % nContents
+	}
+	// JSON responses: median ~950 B per domain; combined with the
+	// smaller POST responses this lands the corpus median ~24% below
+	// HTML's, matching §4.
+	ln, err := stats.LogNormalFromMedianP90(800+300*rng.Float64(), 9000)
+	if err != nil {
+		panic(err) // unreachable: arguments are constructed valid
+	}
+	m.sizes = ln
+	return m
+}
+
+// NextContent samples the successor of content index i.
+func (m *AppModel) NextContent(i int, rng *stats.RNG) int {
+	if rng.Bool(m.PrimaryProb) {
+		return m.primary[i]
+	}
+	return m.tail.Sample(rng)
+}
+
+// EntryContent samples the first content object after a manifest fetch:
+// heavily biased toward the top of the feed, as users open lead stories.
+func (m *AppModel) EntryContent(rng *stats.RNG) int {
+	return m.tail.Sample(rng)
+}
+
+// SampleSize draws a JSON response size in bytes.
+func (m *AppModel) SampleSize(rng *stats.RNG) int64 {
+	s := int64(m.sizes.Sample(rng))
+	if s < 60 {
+		s = 60
+	}
+	return s
+}

@@ -1,0 +1,5 @@
+package synth
+
+import "repro/internal/stats"
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(12345) }

@@ -1,0 +1,546 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/uastring"
+)
+
+// collect generates a small short-term dataset once per test binary and
+// shares it across calibration tests.
+var testRecords []logfmt.Record
+
+func dataset(t *testing.T) []logfmt.Record {
+	t.Helper()
+	if testRecords != nil {
+		return testRecords
+	}
+	cfg := ShortTermConfig(42, 0.002) // ~50K records
+	err := Generate(cfg, func(r *logfmt.Record) error {
+		testRecords = append(testRecords, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(testRecords) == 0 {
+		t.Fatal("no records generated")
+	}
+	return testRecords
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := ShortTermConfig(1, 0.001)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Start = time.Time{} },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Domains = 0 },
+		func(c *Config) { c.TargetRequests = 0 },
+		func(c *Config) { c.PeriodicShare = -0.1 },
+		func(c *Config) { c.PeriodicShare = 1 },
+		func(c *Config) { c.UncacheableShare = 1.2 },
+		func(c *Config) { c.NonJSONShare = 1 },
+		func(c *Config) { c.Mix = SourceMix{MobileApp: 0.2} },
+	}
+	for i, mutate := range bad {
+		c := ShortTermConfig(1, 0.001)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultSourceMixSums(t *testing.T) {
+	if s := DefaultSourceMix().Sum(); math.Abs(s-1) > 0.01 {
+		t.Errorf("mix sums to %v", s)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() []logfmt.Record {
+		var recs []logfmt.Record
+		cfg := ShortTermConfig(7, 0.0004)
+		if err := Generate(cfg, func(r *logfmt.Record) error {
+			recs = append(recs, *r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateRecordCountNearTarget(t *testing.T) {
+	cfg := ShortTermConfig(42, 0.002)
+	recs := dataset(t)
+	got := float64(len(recs))
+	want := float64(cfg.TargetRequests)
+	if got < want*0.7 || got > want*1.4 {
+		t.Errorf("generated %d records, target %d", len(recs), cfg.TargetRequests)
+	}
+}
+
+func TestGenerateRecordsValidAndInWindow(t *testing.T) {
+	cfg := ShortTermConfig(42, 0.002)
+	end := cfg.Start.Add(cfg.Duration)
+	for i, r := range dataset(t) {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v (%+v)", i, err, r)
+		}
+		if r.Time.Before(cfg.Start) || r.Time.After(end) {
+			t.Fatalf("record %d outside window: %v", i, r.Time)
+		}
+	}
+}
+
+func TestGenerateJSONShare(t *testing.T) {
+	recs := dataset(t)
+	json := 0
+	for _, r := range recs {
+		if r.IsJSON() {
+			json++
+		}
+	}
+	share := float64(json) / float64(len(recs))
+	if share < 0.6 || share > 0.85 {
+		t.Errorf("JSON share = %.3f, want ~0.72", share)
+	}
+}
+
+// jsonShares computes per-class request shares among JSON records.
+func jsonShares(recs []logfmt.Record) (mobile, desktop, embedded, unknown, browser, getFrac, postOfRest, uncache float64) {
+	var total, nMob, nDesk, nEmb, nUnk, nBrowser, nGet, nPost, nOther, nUncache int
+	for _, r := range recs {
+		if !r.IsJSON() {
+			continue
+		}
+		total++
+		cls := uastring.Classify(r.UserAgent)
+		switch cls.Device {
+		case uastring.DeviceMobile:
+			nMob++
+		case uastring.DeviceDesktop:
+			nDesk++
+		case uastring.DeviceEmbedded:
+			nEmb++
+		default:
+			nUnk++
+		}
+		if cls.Browser {
+			nBrowser++
+		}
+		switch r.Method {
+		case "GET":
+			nGet++
+		case "POST":
+			nPost++
+		default:
+			nOther++
+		}
+		if r.Cache == logfmt.CacheUncacheable {
+			nUncache++
+		}
+	}
+	ft := float64(total)
+	mobile, desktop, embedded, unknown = float64(nMob)/ft, float64(nDesk)/ft, float64(nEmb)/ft, float64(nUnk)/ft
+	browser = float64(nBrowser) / ft
+	getFrac = float64(nGet) / ft
+	if nPost+nOther > 0 {
+		postOfRest = float64(nPost) / float64(nPost+nOther)
+	}
+	uncache = float64(nUncache) / ft
+	return
+}
+
+func TestCalibrationDeviceShares(t *testing.T) {
+	mobile, desktop, embedded, unknown, browser, _, _, _ := jsonShares(dataset(t))
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s share = %.3f, want %.2f±%.2f", name, got, want, tol)
+		}
+	}
+	check("mobile", mobile, 0.55, 0.08)
+	check("embedded", embedded, 0.12, 0.05)
+	check("unknown", unknown, 0.24, 0.07)
+	check("desktop", desktop, 0.09, 0.04)
+	check("browser", browser, 0.12, 0.05)
+}
+
+func TestCalibrationMethods(t *testing.T) {
+	_, _, _, _, _, getFrac, postOfRest, _ := jsonShares(dataset(t))
+	if math.Abs(getFrac-0.84) > 0.05 {
+		t.Errorf("GET share = %.3f, want 0.84±0.05", getFrac)
+	}
+	if postOfRest < 0.90 {
+		t.Errorf("POST of non-GET = %.3f, want >= 0.90", postOfRest)
+	}
+}
+
+func TestCalibrationCacheability(t *testing.T) {
+	_, _, _, _, _, _, _, uncache := jsonShares(dataset(t))
+	if math.Abs(uncache-0.55) > 0.12 {
+		t.Errorf("uncacheable share = %.3f, want 0.55±0.12", uncache)
+	}
+}
+
+func TestCalibrationSizes(t *testing.T) {
+	var jsonSizes, htmlSizes []float64
+	for _, r := range dataset(t) {
+		if r.Bytes <= 0 {
+			continue
+		}
+		if r.IsJSON() {
+			jsonSizes = append(jsonSizes, float64(r.Bytes))
+		} else if strings.HasPrefix(r.MIMEType, "text/html") {
+			htmlSizes = append(htmlSizes, float64(r.Bytes))
+		}
+	}
+	if len(htmlSizes) < 100 {
+		t.Fatalf("only %d HTML records", len(htmlSizes))
+	}
+	sortedJSON := append([]float64(nil), jsonSizes...)
+	sortedHTML := append([]float64(nil), htmlSizes...)
+	jq := quantiles(sortedJSON)
+	hq := quantiles(sortedHTML)
+	if jq[0] >= hq[0] {
+		t.Errorf("JSON median %v not below HTML median %v", jq[0], hq[0])
+	}
+	if jq[1] >= hq[1]*0.5 {
+		t.Errorf("JSON p75 %v not well below HTML p75 %v", jq[1], hq[1])
+	}
+}
+
+func quantiles(xs []float64) [2]float64 {
+	// simple sort-based p50/p75
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return [2]float64{xs[len(xs)/2], xs[len(xs)*3/4]}
+}
+
+func TestUniverseDomainPolicies(t *testing.T) {
+	u := BuildUniverse(500, newTestRNG())
+	if len(u.Domains) != 500 {
+		t.Fatalf("universe has %d domains", len(u.Domains))
+	}
+	var never, always int
+	for _, d := range u.Domains {
+		switch d.Policy {
+		case PolicyNever:
+			never++
+		case PolicyAlways:
+			always++
+		}
+		if got := u.Catalog.Lookup(d.Name); got != d.Category {
+			t.Errorf("catalog lookup %q = %v, want %v", d.Name, got, d.Category)
+		}
+		if d.App == nil || len(d.App.Contents) == 0 || len(d.App.Manifests) == 0 {
+			t.Errorf("domain %q has no app model", d.Name)
+		}
+	}
+	nf, af := float64(never)/500, float64(always)/500
+	if math.Abs(nf-0.5) > 0.12 {
+		t.Errorf("never-cacheable domains = %.2f, want ~0.50", nf)
+	}
+	if math.Abs(af-0.3) > 0.12 {
+		t.Errorf("always-cacheable domains = %.2f, want ~0.30", af)
+	}
+}
+
+func TestUniverseCategorySeparation(t *testing.T) {
+	u := BuildUniverse(800, newTestRNG())
+	byCat := map[string][2]int{} // category -> [never, total]
+	for _, d := range u.Domains {
+		e := byCat[d.Category.String()]
+		if d.Policy == PolicyNever {
+			e[0]++
+		}
+		e[1]++
+		byCat[d.Category.String()] = e
+	}
+	frac := func(cat string) float64 {
+		e := byCat[cat]
+		return float64(e[0]) / float64(e[1])
+	}
+	if frac("News/Media") > 0.3 {
+		t.Errorf("News/Media never-frac = %.2f, want low", frac("News/Media"))
+	}
+	if frac("Financial Service") < 0.7 {
+		t.Errorf("Financial never-frac = %.2f, want high", frac("Financial Service"))
+	}
+	if frac("Gaming") < 0.6 {
+		t.Errorf("Gaming never-frac = %.2f, want high", frac("Gaming"))
+	}
+}
+
+func TestAppModelSuccessors(t *testing.T) {
+	u := BuildUniverse(20, newTestRNG())
+	m := u.Domains[0].App
+	rng := newTestRNG()
+	// The dominant successor must be followed ~45% of the time.
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if m.NextContent(3, rng) == m.primary[3] {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	// primary can also be drawn from the tail, so allow a band above .45.
+	if got < 0.42 || got > 0.60 {
+		t.Errorf("primary successor rate = %.3f", got)
+	}
+}
+
+func TestGenerateEmitErrorStops(t *testing.T) {
+	cfg := ShortTermConfig(3, 0.0004)
+	wantErr := errSentinel{}
+	calls := 0
+	err := Generate(cfg, func(*logfmt.Record) error {
+		calls++
+		if calls >= 10 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("got %v", err)
+	}
+	if calls > 11 {
+		t.Errorf("emit called %d times after error", calls)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	var cfg Config
+	if err := Generate(cfg, func(*logfmt.Record) error { return nil }); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestPeriodicShareRoughlyOnTarget(t *testing.T) {
+	// Count requests to /poll/ and /ingest/ URLs among JSON records.
+	recs := dataset(t)
+	var periodic, json int
+	for _, r := range recs {
+		if !r.IsJSON() {
+			continue
+		}
+		json++
+		if strings.Contains(r.URL, "/poll/") || strings.Contains(r.URL, "/ingest/") {
+			periodic++
+		}
+	}
+	share := float64(periodic) / float64(json)
+	// Fleet granularity is coarse at small scale; wide band.
+	if share < 0.02 || share > 0.15 {
+		t.Errorf("periodic share = %.3f, want ~0.063", share)
+	}
+}
+
+func TestDiurnalIdleScale(t *testing.T) {
+	peak := time.Date(2019, 5, 1, 20, 0, 0, 0, time.UTC)
+	trough := time.Date(2019, 5, 1, 8, 0, 0, 0, time.UTC)
+	if s := diurnalIdleScale(peak); s > 1.05 {
+		t.Errorf("peak scale = %v, want ~1", s)
+	}
+	if s := diurnalIdleScale(trough); s < 1.5 {
+		t.Errorf("trough scale = %v, want clearly above peak", s)
+	}
+	// Always positive and bounded.
+	for h := 0; h < 24; h++ {
+		s := diurnalIdleScale(time.Date(2019, 5, 1, h, 0, 0, 0, time.UTC))
+		if s <= 0 || s > 5 {
+			t.Errorf("hour %d scale = %v", h, s)
+		}
+	}
+}
+
+func TestDiurnalRateVariationIn24h(t *testing.T) {
+	// Generate a full-day dataset and check that human JSON request
+	// volume varies across the day while poll volume stays flat.
+	cfg := LongTermConfig(21, 0.0005)
+	hourCounts := make([]int, 24)
+	pollCounts := make([]int, 24)
+	err := Generate(cfg, func(r *logfmt.Record) error {
+		if !r.IsJSON() {
+			return nil
+		}
+		h := r.Time.Hour()
+		if strings.Contains(r.URL, "/poll/") || strings.Contains(r.URL, "/ingest/") {
+			pollCounts[h]++
+		} else {
+			hourCounts[h]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := hourCounts[0], hourCounts[0]
+	for _, c := range hourCounts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || float64(max)/float64(min) < 1.3 {
+		t.Errorf("human hourly volume too flat: min=%d max=%d", min, max)
+	}
+	pmin, pmax := pollCounts[0], pollCounts[0]
+	for _, c := range pollCounts {
+		if c < pmin {
+			pmin = c
+		}
+		if c > pmax {
+			pmax = c
+		}
+	}
+	if pmin > 0 && float64(pmax)/float64(pmin) > 1.6 {
+		t.Errorf("poll hourly volume too variable: min=%d max=%d", pmin, pmax)
+	}
+}
+
+func TestUTCOffsetShiftsDiurnalPeak(t *testing.T) {
+	// Two vantages nine hours apart must show human activity peaks at
+	// different hours of the same UTC day.
+	peakHour := func(offset time.Duration) int {
+		cfg := LongTermConfig(31, 0.0004)
+		cfg.UTCOffset = offset
+		counts := make([]int, 24)
+		err := Generate(cfg, func(r *logfmt.Record) error {
+			if r.IsJSON() && !strings.Contains(r.URL, "/poll/") && !strings.Contains(r.URL, "/ingest/") {
+				counts[r.Time.Hour()]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for h := 1; h < 24; h++ {
+			if counts[h] > counts[best] {
+				best = h
+			}
+		}
+		return best
+	}
+	a := peakHour(0)
+	b := peakHour(9 * time.Hour)
+	diff := (a - b + 24) % 24
+	if diff > 12 {
+		diff = 24 - diff
+	}
+	if diff < 4 {
+		t.Errorf("peaks %dh and %dh too close for a 9h offset", a, b)
+	}
+}
+
+func TestTrendGeneration(t *testing.T) {
+	cfg := DefaultTrendConfig(5)
+	months := GenerateTrend(cfg)
+	if len(months) != 40 {
+		t.Fatalf("got %d months, want 40 (2016-01..2019-04)", len(months))
+	}
+	first, last := months[0], months[len(months)-1]
+	if r := first.Ratio(); r > 1.1 {
+		t.Errorf("2016 ratio = %.2f, want < ~1", r)
+	}
+	if r := last.Ratio(); r < 3.5 {
+		t.Errorf("2019 ratio = %.2f, want > 4-ish", r)
+	}
+	shrink := 1 - last.JSONMeanBytes/first.JSONMeanBytes
+	if math.Abs(shrink-0.28) > 0.08 {
+		t.Errorf("size shrink = %.3f, want ~0.28", shrink)
+	}
+	// Months are consecutive.
+	for i := 1; i < len(months); i++ {
+		if want := months[i-1].Month.AddDate(0, 1, 0); !months[i].Month.Equal(want) {
+			t.Fatalf("month %d = %v, want %v", i, months[i].Month, want)
+		}
+	}
+}
+
+func TestTrendDeterministic(t *testing.T) {
+	a := GenerateTrend(DefaultTrendConfig(9))
+	b := GenerateTrend(DefaultTrendConfig(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trend not deterministic")
+		}
+	}
+}
+
+func TestTrendEmptyRange(t *testing.T) {
+	cfg := DefaultTrendConfig(1)
+	cfg.To = cfg.From
+	if GenerateTrend(cfg) != nil {
+		t.Error("empty range should return nil")
+	}
+}
+
+func TestMonthCounterRatioZeroHTML(t *testing.T) {
+	m := MonthCounter{JSONRequests: 5}
+	if m.Ratio() != 0 {
+		t.Error("zero HTML should give ratio 0")
+	}
+}
+
+// TestCalibrationAtLargerScale re-checks the headline marginals at 5x the
+// default test scale, guarding against calibration that only holds at one
+// dataset size. Skipped with -short.
+func TestCalibrationAtLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger-scale calibration skipped in -short")
+	}
+	var recs []logfmt.Record
+	cfg := ShortTermConfig(1234, 0.01) // ~250K records
+	err := Generate(cfg, func(r *logfmt.Record) error {
+		recs = append(recs, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobile, desktop, embedded, unknown, browser, getFrac, postOfRest, uncache := jsonShares(recs)
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.3f, want %.2f±%.2f", name, got, want, tol)
+		}
+	}
+	check("mobile", mobile, 0.55, 0.06)
+	check("embedded", embedded, 0.12, 0.04)
+	check("unknown", unknown, 0.24, 0.06)
+	check("desktop", desktop, 0.09, 0.04)
+	check("browser", browser, 0.12, 0.04)
+	check("GET", getFrac, 0.84, 0.04)
+	check("uncacheable", uncache, 0.55, 0.10)
+	if postOfRest < 0.92 {
+		t.Errorf("POST of rest = %.3f", postOfRest)
+	}
+}

@@ -1,0 +1,98 @@
+package synth
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// MonthCounter is one month of CDN-wide content-type accounting, the raw
+// input behind Fig. 1 (ratio of JSON to HTML requests since 2016) and the
+// §4 observation that mean JSON response size shrank ~28% over the
+// period.
+type MonthCounter struct {
+	// Month is the first day of the month (UTC).
+	Month time.Time
+	// JSONRequests and HTMLRequests are the month's request totals.
+	JSONRequests int64
+	HTMLRequests int64
+	// JSONMeanBytes and HTMLMeanBytes are mean response sizes.
+	JSONMeanBytes float64
+	HTMLMeanBytes float64
+}
+
+// Ratio returns JSON:HTML requests for the month (0 if no HTML).
+func (m MonthCounter) Ratio() float64 {
+	if m.HTMLRequests == 0 {
+		return 0
+	}
+	return float64(m.JSONRequests) / float64(m.HTMLRequests)
+}
+
+// TrendConfig parameterizes the multi-year counter series.
+type TrendConfig struct {
+	Seed uint64
+	// From and To bound the series, inclusive of From's month and
+	// exclusive of To's.
+	From, To time.Time
+	// StartRatio is the JSON:HTML ratio in the first month and EndRatio
+	// in the last (paper: JSON starts below HTML in 2016 and ends >4x
+	// in 2019).
+	StartRatio, EndRatio float64
+	// SizeShrink is the total fractional decrease of the mean JSON
+	// response size over the window (paper: ~0.28 since 2016).
+	SizeShrink float64
+	// BaseHTMLRequests is the monthly HTML request volume at the start.
+	BaseHTMLRequests int64
+}
+
+// DefaultTrendConfig covers January 2016 through May 2019 with the
+// paper's endpoints.
+func DefaultTrendConfig(seed uint64) TrendConfig {
+	return TrendConfig{
+		Seed:             seed,
+		From:             time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC),
+		To:               time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC),
+		StartRatio:       0.8,
+		EndRatio:         4.2,
+		SizeShrink:       0.28,
+		BaseHTMLRequests: 1_000_000,
+	}
+}
+
+// GenerateTrend produces the monthly counter series: the JSON:HTML ratio
+// grows geometrically from StartRatio to EndRatio with small
+// month-to-month noise, HTML volume grows mildly, and mean JSON size
+// declines by SizeShrink over the window.
+func GenerateTrend(cfg TrendConfig) []MonthCounter {
+	if !cfg.From.Before(cfg.To) {
+		return nil
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	var months []time.Time
+	for m := time.Date(cfg.From.Year(), cfg.From.Month(), 1, 0, 0, 0, 0, time.UTC); m.Before(cfg.To); m = m.AddDate(0, 1, 0) {
+		months = append(months, m)
+	}
+	n := len(months)
+	out := make([]MonthCounter, n)
+	const jsonSize0, htmlSize0 = 1100.0, 1400.0
+	for i, m := range months {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		// Geometric interpolation of the ratio with +/-4% noise.
+		ratio := cfg.StartRatio * math.Pow(cfg.EndRatio/cfg.StartRatio, frac)
+		ratio *= 1 + 0.04*(rng.Float64()*2-1)
+		html := float64(cfg.BaseHTMLRequests) * (1 + 0.3*frac) * (1 + 0.03*(rng.Float64()*2-1))
+		out[i] = MonthCounter{
+			Month:         m,
+			HTMLRequests:  int64(html),
+			JSONRequests:  int64(html * ratio),
+			JSONMeanBytes: jsonSize0 * (1 - cfg.SizeShrink*frac) * (1 + 0.02*(rng.Float64()*2-1)),
+			HTMLMeanBytes: htmlSize0 * (1 + 0.02*(rng.Float64()*2-1)),
+		}
+	}
+	return out
+}

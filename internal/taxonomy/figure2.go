@@ -1,0 +1,52 @@
+package taxonomy
+
+import "strings"
+
+// Figure2Tree renders the paper's Fig. 2 — the JSON traffic taxonomy —
+// as a plain-text tree. Passing a non-nil Characterization annotates the
+// leaves with measured shares.
+func Figure2Tree(c *Characterization) string {
+	var b strings.Builder
+	b.WriteString("JSON Traffic\n")
+
+	share := func(f func() float64) string {
+		if c == nil || c.Total == 0 {
+			return ""
+		}
+		return "  [" + pctStr(f()) + "]"
+	}
+	dev := func(name string) string {
+		if c == nil || c.Total == 0 {
+			return ""
+		}
+		return "  [" + pctStr(c.Devices.Share(name)) + "]"
+	}
+
+	b.WriteString("├── Traffic Source\n")
+	b.WriteString("│   ├── Initiator\n")
+	b.WriteString("│   │   ├── Human-triggered\n")
+	b.WriteString("│   │   └── Machine-generated (periodic, scripted; see §5.1)\n")
+	b.WriteString("│   ├── Device Type\n")
+	b.WriteString("│   │   ├── Mobile" + dev("Mobile") + "\n")
+	b.WriteString("│   │   ├── Desktop/Laptop" + dev("Desktop") + "\n")
+	b.WriteString("│   │   ├── Embedded (consoles, IoT, TVs)" + dev("Embedded") + "\n")
+	b.WriteString("│   │   └── Unknown" + dev("Unknown") + "\n")
+	b.WriteString("│   └── Application\n")
+	b.WriteString("│       ├── Browser" + share(func() float64 { return 1 - c.NonBrowserShare() }) + "\n")
+	b.WriteString("│       └── Non-browser (native apps, SDKs)" + share(func() float64 { return c.NonBrowserShare() }) + "\n")
+	b.WriteString("├── Request Type\n")
+	b.WriteString("│   ├── Download (GET)" + share(func() float64 { return c.GETShare() }) + "\n")
+	b.WriteString("│   └── Upload (POST)" + share(func() float64 { return c.Methods.Share("POST") }) + "\n")
+	b.WriteString("└── Response Type\n")
+	b.WriteString("    ├── Size (bytes served)\n")
+	b.WriteString("    └── Cacheability\n")
+	b.WriteString("        ├── Cacheable (hit/miss)" + share(func() float64 { return 1 - c.UncacheableShare() }) + "\n")
+	b.WriteString("        └── Uncacheable (tunneled to origin)" + share(func() float64 { return c.UncacheableShare() }) + "\n")
+	return b.String()
+}
+
+func pctStr(f float64) string {
+	n := int(f*1000 + 0.5)
+	whole, frac := n/10, n%10
+	return itoa(whole) + "." + itoa(frac) + "%"
+}

@@ -1,0 +1,41 @@
+package uastring
+
+import "testing"
+
+func BenchmarkClassifyBrowser(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Classify(uaChromeWin)
+	}
+}
+
+func BenchmarkClassifyNativeApp(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Classify(uaNewsApp)
+	}
+}
+
+func BenchmarkClassifyEmbedded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Classify(uaPS4)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(uaChromeWin)
+	}
+}
+
+func BenchmarkDBLookupMemoized(b *testing.B) {
+	db := NewDB()
+	db.Lookup(uaPS4) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(uaPS4)
+	}
+}

@@ -1,0 +1,161 @@
+package uastring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Characteristics describes device properties beyond the basic taxonomy,
+// analogous to the fields Akamai's EDC database exposes. The paper uses
+// EDC to reduce misclassification from bare user-agent grouping (§3.2).
+type Characteristics struct {
+	Device DeviceType
+	// Brand is the hardware vendor family ("Apple", "Samsung", "Sony").
+	Brand string
+	// Model is a device model family ("iPhone", "Galaxy", "PS4").
+	Model string
+	// TouchScreen reports whether the device class has a touch screen.
+	TouchScreen bool
+}
+
+// DB is an EDC-style device-characteristics database: an ordered list of
+// (token, characteristics) rules matched case-insensitively against raw
+// user agents, first match wins. DB lookups are safe for concurrent use
+// after construction; mutation (Add, LoadRules) is not.
+type DB struct {
+	rules []dbRule
+
+	mu    sync.Mutex
+	cache map[string]Characteristics
+}
+
+type dbRule struct {
+	token string
+	char  Characteristics
+}
+
+// NewDB returns a database preloaded with the built-in rules covering
+// the device families the paper reports (Figure 3's mobile, desktop,
+// embedded segments).
+func NewDB() *DB {
+	db := &DB{cache: make(map[string]Characteristics)}
+	for _, r := range builtinRules {
+		db.rules = append(db.rules, r)
+	}
+	return db
+}
+
+var builtinRules = []dbRule{
+	{"iPhone", Characteristics{DeviceMobile, "Apple", "iPhone", true}},
+	{"iPad", Characteristics{DeviceMobile, "Apple", "iPad", true}},
+	{"Apple Watch", Characteristics{DeviceEmbedded, "Apple", "Watch", true}},
+	{"watchOS", Characteristics{DeviceEmbedded, "Apple", "Watch", true}},
+	{"SM-G", Characteristics{DeviceMobile, "Samsung", "Galaxy", true}},
+	{"SM-N", Characteristics{DeviceMobile, "Samsung", "Galaxy Note", true}},
+	{"Pixel", Characteristics{DeviceMobile, "Google", "Pixel", true}},
+	{"PlayStation 4", Characteristics{DeviceEmbedded, "Sony", "PS4", false}},
+	{"PlayStation 3", Characteristics{DeviceEmbedded, "Sony", "PS3", false}},
+	{"PlayStation Vita", Characteristics{DeviceEmbedded, "Sony", "Vita", true}},
+	{"Nintendo Switch", Characteristics{DeviceEmbedded, "Nintendo", "Switch", true}},
+	{"Nintendo 3DS", Characteristics{DeviceEmbedded, "Nintendo", "3DS", true}},
+	{"Xbox One", Characteristics{DeviceEmbedded, "Microsoft", "XboxOne", false}},
+	{"Xbox", Characteristics{DeviceEmbedded, "Microsoft", "Xbox", false}},
+	{"AppleTV", Characteristics{DeviceEmbedded, "Apple", "AppleTV", false}},
+	{"Roku", Characteristics{DeviceEmbedded, "Roku", "Roku", false}},
+	{"BRAVIA", Characteristics{DeviceEmbedded, "Sony", "Bravia TV", false}},
+	{"SmartTV", Characteristics{DeviceEmbedded, "", "SmartTV", false}},
+	{"Android", Characteristics{DeviceMobile, "", "Android", true}},
+	{"Windows NT", Characteristics{DeviceDesktop, "", "PC", false}},
+	{"Macintosh", Characteristics{DeviceDesktop, "Apple", "Mac", false}},
+	{"X11; Linux", Characteristics{DeviceDesktop, "", "PC", false}},
+}
+
+// Add registers a rule with priority over the built-in rules, so
+// deployments can correct misclassifications for their own device fleet.
+func (db *DB) Add(token string, c Characteristics) {
+	db.rules = append([]dbRule{{token: token, char: c}}, db.rules...)
+	db.mu.Lock()
+	db.cache = make(map[string]Characteristics)
+	db.mu.Unlock()
+}
+
+// Lookup returns the device characteristics for a raw user agent and
+// whether any rule matched. Results are memoized per distinct raw string.
+func (db *DB) Lookup(raw string) (Characteristics, bool) {
+	db.mu.Lock()
+	if c, ok := db.cache[raw]; ok {
+		db.mu.Unlock()
+		return c, c != (Characteristics{})
+	}
+	db.mu.Unlock()
+	var out Characteristics
+	found := false
+	for _, r := range db.rules {
+		if containsFold(raw, r.token) {
+			out, found = r.char, true
+			break
+		}
+	}
+	db.mu.Lock()
+	if len(db.cache) < 1<<16 { // bound memoization
+		db.cache[raw] = out
+	}
+	db.mu.Unlock()
+	return out, found
+}
+
+// Refine combines the signature classifier with the database, using the
+// database's device type when the two disagree, mirroring how the paper
+// backstops user-agent grouping with EDC.
+func (db *DB) Refine(raw string) Class {
+	cls := Classify(raw)
+	if c, ok := db.Lookup(raw); ok && c.Device != cls.Device {
+		cls.Device = c.Device
+	}
+	return cls
+}
+
+// LoadRules reads additional rules from r, one per line, in the format:
+//
+//	token|device|brand|model|touch
+//
+// where device is one of Unknown/Mobile/Desktop/Embedded and touch is
+// "y" or "n". Lines starting with '#' and blank lines are skipped.
+func (db *DB) LoadRules(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 5 {
+			return fmt.Errorf("uastring: rules line %d: want 5 fields, got %d", lineNo, len(parts))
+		}
+		dev, err := parseDeviceType(parts[1])
+		if err != nil {
+			return fmt.Errorf("uastring: rules line %d: %w", lineNo, err)
+		}
+		db.Add(parts[0], Characteristics{
+			Device:      dev,
+			Brand:       parts[2],
+			Model:       parts[3],
+			TouchScreen: parts[4] == "y",
+		})
+	}
+	return sc.Err()
+}
+
+func parseDeviceType(s string) (DeviceType, error) {
+	for i, n := range deviceNames {
+		if strings.EqualFold(s, n) {
+			return DeviceType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown device type %q", s)
+}

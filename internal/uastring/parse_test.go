@@ -1,0 +1,129 @@
+package uastring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseChromeUA(t *testing.T) {
+	raw := "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/74.0.3729.131 Safari/537.36"
+	ua := Parse(raw)
+	if len(ua.Products) != 4 {
+		t.Fatalf("got %d products: %+v", len(ua.Products), ua.Products)
+	}
+	if ua.Products[0].Name != "Mozilla" || ua.Products[0].Version != "5.0" {
+		t.Errorf("first product = %+v", ua.Products[0])
+	}
+	if len(ua.Products[0].Comment) != 3 {
+		t.Errorf("Mozilla comment = %v", ua.Products[0].Comment)
+	}
+	if ua.Products[0].Comment[0] != "Windows NT 10.0" {
+		t.Errorf("comment[0] = %q", ua.Products[0].Comment[0])
+	}
+	if p := ua.Product("chrome"); p == nil || p.Version != "74.0.3729.131" {
+		t.Errorf("Product(chrome) = %+v", p)
+	}
+}
+
+func TestParseAppUA(t *testing.T) {
+	ua := Parse("NewsApp/3.1 (iPhone; iOS 12.2; Scale/3.00)")
+	if len(ua.Products) != 1 {
+		t.Fatalf("products = %+v", ua.Products)
+	}
+	p := ua.Products[0]
+	if p.Name != "NewsApp" || p.Version != "3.1" {
+		t.Errorf("product = %+v", p)
+	}
+	if len(p.Comment) != 3 || p.Comment[0] != "iPhone" {
+		t.Errorf("comment = %v", p.Comment)
+	}
+}
+
+func TestParseLeadingComment(t *testing.T) {
+	ua := Parse("(internal probe) checker/1.0")
+	if len(ua.Products) != 2 {
+		t.Fatalf("products = %+v", ua.Products)
+	}
+	if ua.Products[0].Name != "" || len(ua.Products[0].Comment) != 1 {
+		t.Errorf("synthetic product = %+v", ua.Products[0])
+	}
+	if ua.Products[1].Name != "checker" {
+		t.Errorf("second product = %+v", ua.Products[1])
+	}
+}
+
+func TestParseNestedComment(t *testing.T) {
+	ua := Parse("Agent/1.0 (outer (inner) more)")
+	if len(ua.Products) != 1 {
+		t.Fatalf("products = %+v", ua.Products)
+	}
+	// The nested parens stay inside the single comment body.
+	if got := ua.Products[0].Comment; len(got) != 1 || got[0] != "outer (inner) more" {
+		t.Errorf("comment = %v", got)
+	}
+}
+
+func TestParseUnbalancedComment(t *testing.T) {
+	ua := Parse("Agent/1.0 (never closes; oops")
+	if len(ua.Products) != 1 || len(ua.Products[0].Comment) != 2 {
+		t.Errorf("products = %+v", ua.Products)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	ua := Parse("")
+	if len(ua.Products) != 0 {
+		t.Errorf("empty UA parsed to %+v", ua.Products)
+	}
+	if ua.Product("x") != nil {
+		t.Error("Product on empty UA should be nil")
+	}
+}
+
+func TestParseVersionless(t *testing.T) {
+	ua := Parse("curl")
+	if len(ua.Products) != 1 || ua.Products[0].Name != "curl" || ua.Products[0].Version != "" {
+		t.Errorf("products = %+v", ua.Products)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		Parse(s)
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasToken(t *testing.T) {
+	ua := Parse("Mozilla/5.0 (iPhone; CPU iPhone OS 12_2 like Mac OS X)")
+	if !ua.HasToken("iphone") {
+		t.Error("case-insensitive token not found")
+	}
+	if ua.HasToken("android") {
+		t.Error("absent token found")
+	}
+	if !ua.HasToken("") {
+		t.Error("empty token should match")
+	}
+}
+
+func TestContainsFold(t *testing.T) {
+	cases := []struct {
+		s, sub string
+		want   bool
+	}{
+		{"Hello World", "WORLD", true},
+		{"Hello", "hello!", false},
+		{"abc", "", true},
+		{"", "x", false},
+		{"PlayStation 4", "playstation", true},
+	}
+	for _, c := range cases {
+		if got := containsFold(c.s, c.sub); got != c.want {
+			t.Errorf("containsFold(%q,%q) = %v", c.s, c.sub, got)
+		}
+	}
+}

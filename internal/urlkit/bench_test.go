@@ -1,0 +1,24 @@
+package urlkit
+
+import "testing"
+
+func BenchmarkClusterStatic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cluster("https://api.example.com/v1/stories")
+	}
+}
+
+func BenchmarkClusterVolatile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cluster("https://x.com/article/99887?user=123&lat=40.7&sid=a1B2c3D4e5F6g7H8iJ")
+	}
+}
+
+func BenchmarkClusterUUID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cluster("https://x.com/session/6fa459ea-ee8a-3ca4-894e-db77e160355e")
+	}
+}

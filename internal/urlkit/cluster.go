@@ -1,0 +1,236 @@
+// Package urlkit tokenizes and clusters request URLs.
+//
+// The paper's ngram evaluation (§5.2) runs on two vocabularies: actual
+// URLs and *clustered* URLs, clustering "similar to URL argument
+// clustering in [Klotski, NSDI'15]". Clustering maps URLs that differ
+// only in client-specific identifiers (numeric IDs, UUIDs, hashes,
+// coordinates, per-client query values) onto one template, revealing
+// general object dependencies of an application.
+package urlkit
+
+import (
+	"sort"
+	"strings"
+)
+
+// Placeholder tokens substituted for volatile URL components.
+const (
+	PlaceholderNum  = "{num}"
+	PlaceholderHex  = "{hex}"
+	PlaceholderUUID = "{uuid}"
+	PlaceholderB64  = "{opaque}"
+	PlaceholderVal  = "{v}"
+)
+
+// Cluster maps a URL to its cluster template. Host and static path
+// segments are preserved; volatile segments and query values are
+// replaced by placeholders; query keys are kept and sorted so parameter
+// order does not split clusters. Unparseable URLs cluster to themselves.
+func Cluster(raw string) string {
+	scheme, rest := splitScheme(raw)
+	host, pathq := splitHostPath(rest)
+	if host == "" {
+		return raw
+	}
+	path, query := splitPathQuery(pathq)
+	var b strings.Builder
+	b.Grow(len(raw))
+	if scheme != "" {
+		b.WriteString(strings.ToLower(scheme))
+		b.WriteString("://")
+	}
+	b.WriteString(strings.ToLower(host))
+	b.WriteString(ClusterPath(path))
+	if query != "" {
+		if cq := clusterQuery(query); cq != "" {
+			b.WriteByte('?')
+			b.WriteString(cq)
+		}
+	}
+	return b.String()
+}
+
+// ClusterPath templates one URL path: each segment that looks volatile
+// is replaced by a placeholder. The path must start with '/'; an empty
+// path clusters to "/".
+func ClusterPath(path string) string {
+	if path == "" {
+		return "/"
+	}
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "" {
+			continue
+		}
+		// Keep a recognizable extension on templated file names. An
+		// extension must contain a letter so decimals ("40.7128") are
+		// not mistaken for one.
+		name, ext := s, ""
+		if j := strings.LastIndexByte(s, '.'); j > 0 && len(s)-j <= 6 && hasLetter(s[j+1:]) {
+			name, ext = s[:j], s[j:]
+		}
+		if ph := classifySegment(name); ph != "" {
+			segs[i] = ph + ext
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// classifySegment returns the placeholder for a volatile path segment,
+// or "" if the segment is static.
+func classifySegment(s string) string {
+	if s == "" {
+		return ""
+	}
+	switch {
+	case isNumeric(s):
+		return PlaceholderNum
+	case isUUID(s):
+		return PlaceholderUUID
+	case isHex(s) && len(s) >= 8:
+		return PlaceholderHex
+	case isOpaque(s):
+		return PlaceholderB64
+	default:
+		return ""
+	}
+}
+
+func clusterQuery(query string) string {
+	params := strings.Split(query, "&")
+	keys := make([]string, 0, len(params))
+	for _, p := range params {
+		if p == "" {
+			continue
+		}
+		k, _, _ := strings.Cut(p, "=")
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(PlaceholderVal)
+	}
+	return b.String()
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dots := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			// Allow signs and one decimal point so coordinates template too.
+			if (c == '-' || c == '+') && i == 0 && len(s) > 1 {
+				continue
+			}
+			if c == '.' && dots == 0 && i > 0 && i < len(s)-1 && s[i-1] != '-' && s[i-1] != '+' {
+				dots++
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func hasLetter(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	hasDigit := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			hasDigit = true
+		case c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	// Require at least one digit: pure-alpha strings like "deed" are
+	// more likely words than hashes.
+	return hasDigit
+}
+
+func isUUID(s string) bool {
+	// 8-4-4-4-12 hex groups.
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if i == 8 || i == 13 || i == 18 || i == 23 {
+			continue
+		}
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// isOpaque detects long mixed-alphanumeric tokens (session keys, base64
+// blobs): length >= 16 with both letters and digits and high variety.
+func isOpaque(s string) bool {
+	if len(s) < 16 {
+		return false
+	}
+	letters, digits := 0, 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			letters++
+		case c == '-' || c == '_' || c == '=' || c == '+':
+		default:
+			return false
+		}
+	}
+	return digits >= 2 && letters >= 2
+}
+
+func splitScheme(raw string) (scheme, rest string) {
+	if i := strings.Index(raw, "://"); i > 0 {
+		return raw[:i], raw[i+3:]
+	}
+	return "", raw
+}
+
+func splitHostPath(rest string) (host, pathq string) {
+	i := strings.IndexAny(rest, "/?")
+	if i < 0 {
+		return rest, ""
+	}
+	if rest[i] == '?' {
+		return rest[:i], "/" + rest[i:]
+	}
+	return rest[:i], rest[i:]
+}
+
+func splitPathQuery(pathq string) (path, query string) {
+	if i := strings.IndexByte(pathq, '?'); i >= 0 {
+		return pathq[:i], pathq[i+1:]
+	}
+	return pathq, ""
+}

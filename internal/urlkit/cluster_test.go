@@ -1,0 +1,161 @@
+package urlkit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterNumericIDs(t *testing.T) {
+	a := Cluster("https://news.example.com/article/1234")
+	b := Cluster("https://news.example.com/article/99887")
+	if a != b {
+		t.Fatalf("numeric IDs did not cluster: %q vs %q", a, b)
+	}
+	if a != "https://news.example.com/article/{num}" {
+		t.Errorf("template = %q", a)
+	}
+}
+
+func TestClusterPreservesStaticPaths(t *testing.T) {
+	u := "https://api.example.com/v1/stories"
+	if got := Cluster(u); got != u {
+		t.Errorf("static URL changed: %q", got)
+	}
+}
+
+func TestClusterUUID(t *testing.T) {
+	got := Cluster("https://x.com/session/6fa459ea-ee8a-3ca4-894e-db77e160355e")
+	want := "https://x.com/session/{uuid}"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestClusterHexHash(t *testing.T) {
+	a := Cluster("https://x.com/blob/deadbeef01")
+	b := Cluster("https://x.com/blob/0123456789abcdef")
+	if a != b || a != "https://x.com/blob/{hex}" {
+		t.Errorf("hex clustering: %q vs %q", a, b)
+	}
+	// Short or pure-alpha hex-ish words stay literal.
+	if got := Cluster("https://x.com/blob/feed"); got != "https://x.com/blob/feed" {
+		t.Errorf("short word templated: %q", got)
+	}
+}
+
+func TestClusterOpaqueToken(t *testing.T) {
+	got := Cluster("https://x.com/t/a1B2c3D4e5F6g7H8iJ")
+	if got != "https://x.com/t/{opaque}" {
+		t.Errorf("opaque token: %q", got)
+	}
+}
+
+func TestClusterQueryValues(t *testing.T) {
+	a := Cluster("https://x.com/s?user=123&lat=40.7&lon=-73.9")
+	b := Cluster("https://x.com/s?lon=-71.1&user=999&lat=42.3")
+	if a != b {
+		t.Fatalf("query clustering order-sensitive: %q vs %q", a, b)
+	}
+	if a != "https://x.com/s?lat={v}&lon={v}&user={v}" {
+		t.Errorf("template = %q", a)
+	}
+}
+
+func TestClusterExtensionPreserved(t *testing.T) {
+	got := Cluster("https://cdn.example.com/image1234.jpg")
+	// File name is not purely numeric, stays; but numeric-only with
+	// extension templates keeping .jpg:
+	got2 := Cluster("https://cdn.example.com/567890.jpg")
+	if got2 != "https://cdn.example.com/{num}.jpg" {
+		t.Errorf("numeric file = %q", got2)
+	}
+	if got != "https://cdn.example.com/image1234.jpg" {
+		t.Errorf("mixed file = %q", got)
+	}
+}
+
+func TestClusterCoordinates(t *testing.T) {
+	got := Cluster("https://x.com/geo/40.7128/-74.0060")
+	if got != "https://x.com/geo/{num}/{num}" {
+		t.Errorf("coordinates = %q", got)
+	}
+}
+
+func TestClusterHostOnly(t *testing.T) {
+	if got := Cluster("https://x.com"); got != "https://x.com/" {
+		t.Errorf("host only = %q", got)
+	}
+	if got := Cluster("x.com/a/1"); got != "x.com/a/{num}" {
+		t.Errorf("schemeless = %q", got)
+	}
+}
+
+func TestClusterQueryNoPath(t *testing.T) {
+	got := Cluster("https://x.com?id=5")
+	if got != "https://x.com/?id={v}" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestClusterUnparseable(t *testing.T) {
+	if got := Cluster(""); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	// No host: returned unchanged.
+	if got := Cluster("/just/a/path"); got != "/just/a/path" {
+		t.Errorf("relative = %q", got)
+	}
+}
+
+func TestClusterIdempotent(t *testing.T) {
+	urls := []string{
+		"https://news.example.com/article/1234",
+		"https://x.com/s?user=123",
+		"https://x.com/session/6fa459ea-ee8a-3ca4-894e-db77e160355e",
+		"https://api.example.com/v1/stories",
+	}
+	for _, u := range urls {
+		once := Cluster(u)
+		twice := Cluster(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", u, once, twice)
+		}
+	}
+}
+
+func TestClusterNeverPanics(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		Cluster(s)
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"123", "-73.9", "+5", "0.5"}
+	no := []string{"", "abc", "1a", "-", ".5", "5.", "1.2.3"}
+	for _, s := range yes {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestIsUUID(t *testing.T) {
+	if !isUUID("6fa459ea-ee8a-3ca4-894e-db77e160355e") {
+		t.Error("valid uuid rejected")
+	}
+	for _, s := range []string{"", "6fa459ea", "6fa459ea-ee8a-3ca4-894e-db77e160355z",
+		"6fa459eaxee8a-3ca4-894e-db77e160355e"} {
+		if isUUID(s) {
+			t.Errorf("isUUID(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package urlkit
+
+import "testing"
+
+// FuzzCluster checks the clusterer never panics and is idempotent on
+// every input it produces.
+func FuzzCluster(f *testing.F) {
+	seeds := []string{
+		"https://news.example.com/article/1234",
+		"https://x.com/s?user=123&lat=40.7",
+		"x.com/a/1",
+		"",
+		"%%%bad",
+		"https://x.com/session/6fa459ea-ee8a-3ca4-894e-db77e160355e",
+		"https://x.com///",
+		"?only=query",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		once := Cluster(raw)
+		twice := Cluster(once)
+		if once != twice {
+			t.Fatalf("not idempotent: %q -> %q -> %q", raw, once, twice)
+		}
+	})
+}
