@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: ci vet build test race
+
+# ci is the tier-1 gate: everything below, in order.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the concurrent hot paths: the metrics substrate and the
+# net/http edge that reports into it.
+race:
+	$(GO) test -race ./internal/obs ./internal/edge

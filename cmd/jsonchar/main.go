@@ -7,6 +7,7 @@
 //
 //	jsonchar -i logs.tsv.gz
 //	jsonchar -synth -scale 0.002
+//	jsonchar -synth -trace -metrics-addr :9090
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domaincat"
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/rollup"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -27,18 +29,37 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("i", "", "input log file (.tsv/.jsonl[.gz])")
-		useSynth = flag.Bool("synth", false, "characterize a freshly generated short-term dataset")
-		scale    = flag.Float64("scale", 0.002, "scale for -synth")
-		seed     = flag.Uint64("seed", 42, "seed for -synth")
-		topApps  = flag.Int("top-apps", 10, "how many applications to list")
+		in          = flag.String("i", "", "input log file (.tsv/.jsonl[.gz])")
+		useSynth    = flag.Bool("synth", false, "characterize a freshly generated short-term dataset")
+		scale       = flag.Float64("scale", 0.002, "scale for -synth")
+		seed        = flag.Uint64("seed", 42, "seed for -synth")
+		topApps     = flag.Int("top-apps", 10, "how many applications to list")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
+		trace       = flag.Bool("trace", false, "print a per-stage span table after the run")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tr *obs.Trace
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		_, url, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics at %s/metrics\n", url)
+	}
+	if *trace {
+		tr = obs.NewTrace()
+	}
 
 	var src core.Source
 	switch {
 	case *useSynth:
-		src = core.SynthSource(synth.ShortTermConfig(*seed, *scale))
+		cfg := synth.ShortTermConfig(*seed, *scale)
+		cfg.Obs = reg
+		src = core.SynthSource(cfg)
 	case *in != "":
 		src = core.FileSource(*in)
 	default:
@@ -50,7 +71,10 @@ func main() {
 	cacheability := taxonomy.NewDomainCacheability(domaincat.NewCatalog())
 	hourly := rollup.New(time.Hour)
 	fine := rollup.New(10 * time.Minute)
+	sp := tr.Start("ingest + characterize")
 	err := src.Each(func(r *logfmt.Record) error {
+		sp.AddRecords(1)
+		sp.AddBytes(r.Bytes)
 		char.ObserveAny(r)
 		hourly.Observe(r)
 		fine.Observe(r)
@@ -59,6 +83,7 @@ func main() {
 		}
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
 		os.Exit(1)
@@ -133,4 +158,9 @@ func main() {
 		cacheability.NumDomains(), stats.Percent(never), stats.Percent(always), stats.Percent(mixed))
 	fmt.Println("\nFigure 4 heatmap (rows: category, cols: cacheable share 0-100%):")
 	fmt.Print(stats.Heatmap(cacheability.Heatmap(10)))
+
+	if *trace {
+		fmt.Println("\nStage trace:")
+		tr.WriteTable(os.Stdout)
+	}
 }

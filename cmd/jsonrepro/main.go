@@ -6,6 +6,8 @@
 //	jsonrepro                         # laptop-scale defaults
 //	jsonrepro -scale 0.01 -x 100      # bigger datasets, paper's x
 //	jsonrepro -only fig5,table3
+//	jsonrepro -trace                  # per-stage span table after the run
+//	jsonrepro -metrics-addr :9090     # scrape /metrics while it runs
 package main
 
 import (
@@ -16,20 +18,37 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 42, "seed for all datasets and permutations")
-		scale  = flag.Float64("scale", 0.002, "scale of the Table 2 presets")
-		target = flag.Int("pattern-target", 120_000, "records in the §5 pattern dataset")
-		window = flag.Duration("pattern-window", 2*time.Hour, "capture window of the pattern dataset")
-		x      = flag.Int("x", 100, "periodicity permutations")
-		bin    = flag.Duration("bin", 2*time.Second, "periodicity sampling interval")
-		only   = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional")
-		csvDir = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
+		seed        = flag.Uint64("seed", 42, "seed for all datasets and permutations")
+		scale       = flag.Float64("scale", 0.002, "scale of the Table 2 presets")
+		target      = flag.Int("pattern-target", 120_000, "records in the §5 pattern dataset")
+		window      = flag.Duration("pattern-window", 2*time.Hour, "capture window of the pattern dataset")
+		x           = flag.Int("x", 100, "periodicity permutations")
+		bin         = flag.Duration("bin", 2*time.Second, "periodicity sampling interval")
+		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional")
+		csvDir      = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
+		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tr *obs.Trace
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		_, url, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics at %s/metrics (pprof at %s/debug/pprof/)\n", url, url)
+	}
+	if *trace {
+		tr = obs.NewTrace()
+	}
 
 	cfg := experiments.Config{
 		Seed:          *seed,
@@ -40,6 +59,7 @@ func main() {
 		SampleBin:     *bin,
 	}
 	r := experiments.NewRunner(cfg)
+	r.Instrument(reg, tr)
 	start := time.Now()
 
 	if *only == "" {
@@ -87,6 +107,10 @@ func main() {
 				fail(err)
 			}
 		}
+	}
+	if *trace {
+		fmt.Println("\n== Stage trace ==")
+		tr.WriteTable(os.Stdout)
 	}
 	fmt.Fprintf(os.Stderr, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }

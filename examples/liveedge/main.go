@@ -1,23 +1,29 @@
 // Liveedge: run a real net/http caching edge server on loopback, drive
 // it with synthetic clients following the paper's manifest pattern
 // (Table 1: fetch /stories, then the referenced articles), then analyze
-// the edge's own request log with the characterization pipeline.
+// the edge's own request log with the characterization pipeline. The
+// edge is fully instrumented: an admin server exposes Prometheus
+// metrics, expvar, and pprof while it runs, and the run ends with a
+// sample of its own /metrics scrape.
 //
 //	go run ./examples/liveedge
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
 	cdnjson "repro"
 	"repro/internal/edge"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,9 +40,14 @@ func main() {
 			mu.Unlock()
 		},
 	}
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
 	srv := httptest.NewServer(e)
 	defer srv.Close()
+	admin := httptest.NewServer(obs.AdminMux(reg))
+	defer admin.Close()
 	fmt.Printf("edge server listening at %s\n", srv.URL)
+	fmt.Printf("metrics at %s/metrics (pprof at %s/debug/pprof/)\n", admin.URL, admin.URL)
 
 	// Drive it: concurrent app clients load the manifest and then read
 	// articles; one IoT poller posts telemetry.
@@ -92,6 +103,28 @@ func main() {
 	if cacheable > 0 {
 		fmt.Printf("edge cache hit ratio: %.0f%% (%d/%d cacheable requests)\n",
 			float64(hits)/float64(cacheable)*100, hits, cacheable)
+	}
+
+	// Scrape our own admin endpoint to show the zero-to-metrics path.
+	fmt.Printf("\nsample of %s/metrics:\n", admin.URL)
+	printScrapeSample(admin.URL + "/metrics")
+}
+
+// printScrapeSample fetches a Prometheus endpoint and prints its edge_*
+// samples (skipping comment lines and the histogram bucket series).
+func printScrapeSample(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Printf("scrape: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "edge_") && !strings.Contains(line, "_bucket{") {
+			fmt.Printf("  %s\n", line)
+		}
 	}
 }
 

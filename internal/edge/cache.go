@@ -200,6 +200,12 @@ func (c *Cache) Bytes() int64 {
 	return n
 }
 
+// MetricsSnapshot returns a consistent point-in-time copy of the
+// aggregate cache metrics, taking each shard's mutex. Exposition and
+// any other external reader must use this (or Metrics) rather than
+// reaching into cache internals.
+func (c *Cache) MetricsSnapshot() CacheMetrics { return c.Metrics() }
+
 // Metrics returns a snapshot of aggregate cache metrics.
 func (c *Cache) Metrics() CacheMetrics {
 	var m CacheMetrics

@@ -35,6 +35,10 @@ type HTTPEdge struct {
 	// Log, if non-nil, receives a record per request. The record is
 	// freshly allocated per call and may be retained.
 	Log func(*logfmt.Record)
+	// Obs, if non-nil, receives request metrics: per-method request
+	// counts, bytes served, origin fetch latency, and 304 counts. Wire
+	// it with Instrument, which also registers the cache's metrics.
+	Obs *Instrumentation
 	// Now supplies time (defaults to time.Now); tests override it.
 	Now func() time.Time
 
@@ -71,8 +75,24 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			serveFromCache = false // evicted body; refetch below
 		}
 	}
+	if e.Obs != nil {
+		e.Obs.requests(r.Method).Inc()
+	}
 	if !serveFromCache {
+		var fetchStart time.Time
+		if e.Obs != nil {
+			// Origin latency is real wall time even when e.Now is a test
+			// clock: Now models the cache's notion of time, not elapsed
+			// fetch cost.
+			fetchStart = time.Now()
+		}
 		b, m, cacheable, err := e.Origin.Fetch(r.URL.Path)
+		if e.Obs != nil {
+			e.Obs.OriginFetch.Observe(time.Since(fetchStart).Seconds())
+			if err != nil {
+				e.Obs.OriginErrors.Inc()
+			}
+		}
 		if err != nil {
 			status = http.StatusNotFound
 			b, m = []byte(`{"error":"not found"}`), "application/json"
@@ -105,6 +125,9 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("ETag", etag)
 		w.Header().Set("X-Cache", strings.ToUpper(cacheStatus.String()))
 		w.WriteHeader(http.StatusNotModified)
+		if e.Obs != nil {
+			e.Obs.NotModified.Inc()
+		}
 		if e.Log != nil {
 			e.logRequest(r, now, mime, http.StatusNotModified, 0, cacheStatus)
 		}
@@ -118,6 +141,9 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(status)
 	if r.Method != http.MethodHead {
 		w.Write(body)
+		if e.Obs != nil {
+			e.Obs.BytesServed.Add(int64(len(body)))
+		}
 	}
 
 	if e.Log != nil {

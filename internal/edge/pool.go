@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/logfmt"
@@ -15,15 +16,16 @@ type Server struct {
 	Name  string
 	Cache *Cache
 
-	// Requests counts requests routed to this server.
-	Requests int64
+	// Requests counts requests routed to this server. It is atomic so
+	// the count stays exact under concurrent replay and can be scraped
+	// while a replay runs.
+	Requests atomic.Int64
 }
 
 // Pool routes requests across edge servers with consistent hashing over
 // the object URL, as a CDN front-ends a rack: the same object always
 // lands on the same server, maximizing its cache utility. Pool routing
-// is safe for concurrent use; the per-server request counter is not a
-// synchronized hot path and is only approximate under concurrency.
+// and the per-server request counters are safe for concurrent use.
 type Pool struct {
 	servers []*Server
 	ring    []ringPoint
@@ -148,7 +150,7 @@ func (p *Pool) Replay(r *logfmt.Record, res *ReplayResult) {
 	res.Requests++
 	res.ServedBytes += r.Bytes
 	srv := p.Route(r.URL)
-	srv.Requests++
+	srv.Requests.Add(1)
 	if r.Cache == logfmt.CacheUncacheable || r.Method != "GET" {
 		res.Uncacheable++
 		res.OriginBytes += r.Bytes

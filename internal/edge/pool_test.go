@@ -111,7 +111,7 @@ func TestPoolMetricsAggregate(t *testing.T) {
 	}
 	var perServer int64
 	for _, s := range p.Servers() {
-		perServer += s.Requests
+		perServer += s.Requests.Load()
 	}
 	if perServer != 30 {
 		t.Errorf("server requests = %d", perServer)

@@ -80,7 +80,14 @@ func (r *Runner) Deprioritize(w io.Writer) (DeprioritizeResult, error) {
 		reqs[i].Service = time.Duration(float64(reqs[i].Service) * factor)
 	}
 
-	fifo, prio, err := sched.Compare(reqs, workers)
+	// Run both disciplines through the instrumented simulator (the
+	// registry, when attached, accumulates the per-class queue-latency
+	// histograms across both runs).
+	fifo, err := sched.Simulate(reqs, sched.Config{Workers: workers, Discipline: sched.FIFO, Obs: r.obsReg})
+	if err != nil {
+		return DeprioritizeResult{}, err
+	}
+	prio, err := sched.Simulate(reqs, sched.Config{Workers: workers, Discipline: sched.PriorityHuman, Obs: r.obsReg})
 	if err != nil {
 		return DeprioritizeResult{}, err
 	}

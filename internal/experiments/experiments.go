@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -74,6 +75,9 @@ func (c *Config) sanitize() {
 type Runner struct {
 	cfg Config
 
+	obsReg *obs.Registry
+	trace  *obs.Trace
+
 	short   []logfmt.Record
 	pattern []logfmt.Record
 
@@ -89,17 +93,50 @@ func NewRunner(cfg Config) *Runner {
 // Config returns the runner's effective configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// Instrument attaches a metrics registry and a stage tracer, either of
+// which may be nil. The registry flows into the dataset generators and
+// the scheduler simulation; the tracer gets one span per generated
+// dataset and one per figure/table in RunAll. Call before running
+// experiments.
+func (r *Runner) Instrument(reg *obs.Registry, tr *obs.Trace) {
+	r.obsReg = reg
+	r.trace = tr
+}
+
+// span opens a tracer span, or returns a no-op nil span when no tracer
+// is attached.
+func (r *Runner) span(name string) *obs.Span { return r.trace.Start(name) }
+
 // ShortTermRecords returns (generating on first use) the scaled
 // short-term dataset used by the §4 characterization experiments.
 func (r *Runner) ShortTermRecords() ([]logfmt.Record, error) {
 	if r.short == nil {
-		recs, err := core.Collect(core.SynthSource(synth.ShortTermConfig(r.cfg.Seed, r.cfg.Scale)))
+		cfg := synth.ShortTermConfig(r.cfg.Seed, r.cfg.Scale)
+		cfg.Obs = r.obsReg
+		sp := r.span("synth short-term dataset")
+		recs, err := core.Collect(core.SynthSource(cfg))
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("experiments: generating short-term dataset: %w", err)
 		}
+		tallyRecords(sp, recs)
+		sp.End()
 		r.short = recs
 	}
 	return r.short, nil
+}
+
+// tallyRecords charges a generated dataset to its span.
+func tallyRecords(sp *obs.Span, recs []logfmt.Record) {
+	if sp == nil {
+		return
+	}
+	var bytes int64
+	for i := range recs {
+		bytes += recs[i].Bytes
+	}
+	sp.AddRecords(int64(len(recs)))
+	sp.AddBytes(bytes)
 }
 
 // PatternConfig returns the synth configuration of the pattern dataset.
@@ -108,6 +145,7 @@ func (r *Runner) PatternConfig() synth.Config {
 	cfg.Duration = r.cfg.PatternWindow
 	cfg.TargetRequests = r.cfg.PatternTarget
 	cfg.Domains = 40
+	cfg.Obs = r.obsReg
 	return cfg
 }
 
@@ -115,10 +153,14 @@ func (r *Runner) PatternConfig() synth.Config {
 // standing in for the paper's long-term dataset in the §5 analyses.
 func (r *Runner) PatternRecords() ([]logfmt.Record, error) {
 	if r.pattern == nil {
+		sp := r.span("synth pattern dataset")
 		recs, err := core.Collect(core.SynthSource(r.PatternConfig()))
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("experiments: generating pattern dataset: %w", err)
 		}
+		tallyRecords(sp, recs)
+		sp.End()
 		r.pattern = recs
 	}
 	return r.pattern, nil

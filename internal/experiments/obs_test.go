@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentedRunner checks that an instrumented runner reports
+// dataset generation through both the registry and the tracer.
+func TestInstrumentedRunner(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.0004
+	cfg.PatternTarget = 5_000
+	cfg.PatternWindow = 30 * time.Minute
+	r := NewRunner(cfg)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	r.Instrument(reg, tr)
+
+	recs, err := r.ShortTermRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records generated")
+	}
+	if got := reg.Counter("synth_records_generated_total").Value(); got != int64(len(recs)) {
+		t.Errorf("synth_records_generated_total = %d, want %d", got, len(recs))
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "synth short-term dataset" {
+		t.Fatalf("spans = %+v, want one synth span", spans)
+	}
+	if spans[0].Records != int64(len(recs)) || spans[0].Bytes <= 0 {
+		t.Errorf("span tallies = %+v", spans[0])
+	}
+
+	var b strings.Builder
+	tr.WriteTable(&b)
+	if !strings.Contains(b.String(), "synth short-term dataset") {
+		t.Errorf("trace table missing stage:\n%s", b.String())
+	}
+}

@@ -20,59 +20,72 @@ type Report struct {
 }
 
 // RunAll executes every experiment in paper order, writing the formatted
-// tables and figures to w.
+// tables and figures to w. When the runner is instrumented (see
+// Instrument), each figure/table runs inside its own tracer span, so a
+// -trace run prints where the wall time went.
 func (r *Runner) RunAll(w io.Writer) (*Report, error) {
 	w = out(w)
 	var rep Report
-	var err error
 
-	section := func(name string) {
-		fmt.Fprintf(w, "\n== %s ==\n", name)
+	steps := []struct {
+		title string // section heading and span name
+		errAs string // error-wrapping label
+		fn    func(io.Writer) error
+	}{
+		{"Figure 1", "figure 1", func(w io.Writer) (err error) {
+			rep.Figure1, err = r.Figure1(w)
+			return
+		}},
+		{"Table 2", "table 2", func(w io.Writer) (err error) {
+			rep.Table2, err = r.Table2(w)
+			return
+		}},
+		{"Figure 3 and §4 request/response types", "figure 3", func(w io.Writer) (err error) {
+			rep.Figure3, err = r.Figure3(w)
+			return
+		}},
+		{"Figure 4 and §4 cacheability", "figure 4", func(w io.Writer) (err error) {
+			rep.Figure4, err = r.Figure4(w)
+			return
+		}},
+		{"Figure 5 and §5.1 periodicity", "figure 5", func(w io.Writer) (err error) {
+			rep.Periods, err = r.Figure5(w)
+			return
+		}},
+		{"Figure 6", "figure 6", func(w io.Writer) (err error) {
+			_, err = r.Figure6(w)
+			return
+		}},
+		{"Table 3 and §5.2 prediction", "table 3", func(w io.Writer) (err error) {
+			rep.Table3, err = r.Table3(w)
+			return
+		}},
+		{"Prefetch simulation (§5.2 implication)", "prefetch", func(w io.Writer) (err error) {
+			rep.Prefetch, err = r.Prefetch(w)
+			return
+		}},
+		{"Deprioritization (§7 implication)", "deprioritize", func(w io.Writer) (err error) {
+			rep.Deprioritize, err = r.Deprioritize(w)
+			return
+		}},
+		{"Anomaly detection (§5 applications)", "anomaly", func(w io.Writer) (err error) {
+			rep.Anomaly, err = r.Anomaly(w)
+			return
+		}},
+		{"Regional vantages (§7 limitation)", "regional", func(w io.Writer) (err error) {
+			rep.Regional, err = r.Regional(w)
+			return
+		}},
 	}
 
-	section("Figure 1")
-	if rep.Figure1, err = r.Figure1(w); err != nil {
-		return nil, fmt.Errorf("figure 1: %w", err)
-	}
-	section("Table 2")
-	if rep.Table2, err = r.Table2(w); err != nil {
-		return nil, fmt.Errorf("table 2: %w", err)
-	}
-	section("Figure 3 and §4 request/response types")
-	if rep.Figure3, err = r.Figure3(w); err != nil {
-		return nil, fmt.Errorf("figure 3: %w", err)
-	}
-	section("Figure 4 and §4 cacheability")
-	if rep.Figure4, err = r.Figure4(w); err != nil {
-		return nil, fmt.Errorf("figure 4: %w", err)
-	}
-	section("Figure 5 and §5.1 periodicity")
-	if rep.Periods, err = r.Figure5(w); err != nil {
-		return nil, fmt.Errorf("figure 5: %w", err)
-	}
-	section("Figure 6")
-	if _, err = r.Figure6(w); err != nil {
-		return nil, fmt.Errorf("figure 6: %w", err)
-	}
-	section("Table 3 and §5.2 prediction")
-	if rep.Table3, err = r.Table3(w); err != nil {
-		return nil, fmt.Errorf("table 3: %w", err)
-	}
-	section("Prefetch simulation (§5.2 implication)")
-	if rep.Prefetch, err = r.Prefetch(w); err != nil {
-		return nil, fmt.Errorf("prefetch: %w", err)
-	}
-	section("Deprioritization (§7 implication)")
-	if rep.Deprioritize, err = r.Deprioritize(w); err != nil {
-		return nil, fmt.Errorf("deprioritize: %w", err)
-	}
-	section("Anomaly detection (§5 applications)")
-	if rep.Anomaly, err = r.Anomaly(w); err != nil {
-		return nil, fmt.Errorf("anomaly: %w", err)
-	}
-	section("Regional vantages (§7 limitation)")
-	if rep.Regional, err = r.Regional(w); err != nil {
-		return nil, fmt.Errorf("regional: %w", err)
+	for _, st := range steps {
+		fmt.Fprintf(w, "\n== %s ==\n", st.title)
+		sp := r.span(st.errAs)
+		err := st.fn(w)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", st.errAs, err)
+		}
 	}
 	return &rep, nil
 }

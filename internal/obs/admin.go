@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux returns an HTTP mux serving the operational endpoints:
+//
+//	/metrics         Prometheus text exposition of reg
+//	/debug/vars      expvar JSON (cmdline, memstats, anything published)
+//	/debug/pprof/*   runtime profiles (heap, goroutine, CPU, trace, ...)
+//	/healthz         liveness probe ("ok")
+//	/                plain-text index of the above
+//
+// Mount it on its own listener (see Serve) — the pprof endpoints are
+// not something to expose on the traffic-serving port.
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "admin endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /healthz\n")
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves AdminMux(reg)
+// on it in a background goroutine, and returns the server plus its base
+// URL. Callers that care about clean shutdown should Close the returned
+// server; CLIs that exit anyway may ignore it.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: AdminMux(reg)}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestAdminMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("edge_cache_hits_total").Add(5)
+	srv := httptest.NewServer(AdminMux(reg))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "edge_cache_hits_total 5") {
+		t.Errorf("/metrics missing sample:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv.URL+"/debug/vars")
+	if code != 200 || !strings.Contains(body, "cmdline") {
+		t.Errorf("/debug/vars status=%d body=%.80s", code, body)
+	}
+
+	code, body, _ = get(t, srv.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status=%d", code)
+	}
+	code, _, _ = get(t, srv.URL+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline status=%d", code)
+	}
+
+	code, body, _ = get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("/healthz status=%d body=%q", code, body)
+	}
+
+	code, body, _ = get(t, srv.URL+"/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status=%d body=%q", code, body)
+	}
+	code, _, _ = get(t, srv.URL+"/nope")
+	if code != 404 {
+		t.Errorf("unknown path status=%d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up").Set(1)
+	srv, url, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ := get(t, url+"/metrics")
+	if code != 200 || !strings.Contains(body, "up 1") {
+		t.Errorf("Serve scrape: status=%d body=%q", code, body)
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-3)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %g, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in le=1; 1.5 in le=2; 4 in le=4; 100 in +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 107 {
+		t.Errorf("sum = %g, want 107", s.Sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if b[i] < want[i]*0.999 || b[i] > want[i]*1.001 {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "k", "v")
+	b := reg.Counter("x_total", "k", "v")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := reg.Counter("x_total", "k", "other")
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	h1 := reg.Histogram("h_seconds", []float64{1, 2})
+	h2 := reg.Histogram("h_seconds", nil)
+	if h1 != h2 {
+		t.Error("histogram get-or-create returned distinct instances")
+	}
+}
+
+func TestRegistryWithLabels(t *testing.T) {
+	reg := NewRegistry()
+	child := reg.With("server", "edge-00")
+	child.Counter("reqs_total").Add(7)
+	// The child shares the parent's storage, under the child's labels.
+	if got := reg.Counter("reqs_total", "server", "edge-00").Value(); got != 7 {
+		t.Errorf("labeled counter via parent = %d, want 7", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("m")
+}
+
+func TestRegistryDuplicateFuncPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("g", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on duplicate GaugeFunc")
+		}
+	}()
+	reg.GaugeFunc("g", func() float64 { return 2 })
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on invalid metric name")
+		}
+	}()
+	reg.Counter("bad-name")
+}
+
+// TestConcurrentUse exercises every metric type from many goroutines;
+// the -race target in the Makefile relies on this for coverage.
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("c_total").Inc()
+				reg.Gauge("g").Add(1)
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	// Concurrent scrapes while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var sink discard
+			reg.WritePrometheus(&sink)
+		}
+	}()
+	wg.Wait()
+	if got := reg.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := reg.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

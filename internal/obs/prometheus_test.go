@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestPrometheusCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("requests_total", "Total requests.")
+	reg.Counter("requests_total", "method", "get").Add(3)
+	reg.Gauge("temp").Set(1.5)
+	out := scrape(t, reg)
+	for _, want := range []string{
+		"# HELP requests_total Total requests.\n",
+		"# TYPE requests_total counter\n",
+		`requests_total{method="get"} 3` + "\n",
+		"# TYPE temp gauge\n",
+		"temp 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total", "path", "a\\b\"c\nd").Inc()
+	out := scrape(t, reg)
+	want := `m_total{path="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped sample missing; want %q in:\n%s", want, out)
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1, 10}, "class", "human")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := scrape(t, reg)
+	wants := []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{class="human",le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{class="human",le="1"} 3` + "\n",
+		`lat_seconds_bucket{class="human",le="10"} 4` + "\n",
+		`lat_seconds_bucket{class="human",le="+Inf"} 5` + "\n",
+		`lat_seconds_sum{class="human"} 56.05` + "\n",
+		`lat_seconds_count{class="human"} 5` + "\n",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and ordered: the +Inf line comes last
+	// among the bucket lines.
+	if strings.Index(out, `le="10"`) > strings.Index(out, `le="+Inf"`) {
+		t.Error("+Inf bucket not after finite buckets")
+	}
+}
+
+func TestPrometheusFuncsAndOrdering(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterFunc("zz_total", func() int64 { return 9 })
+	reg.GaugeFunc("aa_bytes", func() float64 { return 2048 })
+	reg.Counter("mm_total", "server", "b").Inc()
+	reg.Counter("mm_total", "server", "a").Inc()
+	out := scrape(t, reg)
+	// Families sorted by name; series within a family sorted by labels.
+	iAA := strings.Index(out, "aa_bytes 2048")
+	iMMa := strings.Index(out, `mm_total{server="a"} 1`)
+	iMMb := strings.Index(out, `mm_total{server="b"} 1`)
+	iZZ := strings.Index(out, "zz_total 9")
+	if iAA < 0 || iMMa < 0 || iMMb < 0 || iZZ < 0 {
+		t.Fatalf("missing samples in:\n%s", out)
+	}
+	if !(iAA < iMMa && iMMa < iMMb && iMMb < iZZ) {
+		t.Errorf("output not sorted:\n%s", out)
+	}
+}

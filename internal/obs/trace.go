@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects per-stage Spans — coarse, pipeline-level tracing (one
+// span per dataset generation, per figure, per analysis pass) rather
+// than per-request tracing. A nil *Trace is a valid no-op: Start
+// returns a nil *Span whose methods are all no-ops, so instrumented
+// code needs no nil checks at call sites. Trace is safe for concurrent
+// use.
+type Trace struct {
+	// Now supplies time (defaults to time.Now); tests override it.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) now() time.Time {
+	if t != nil && t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// Start opens a span named name and returns it. On a nil trace it
+// returns nil, which every Span method tolerates.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, trace: t, start: t.now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span measures one pipeline stage: wall time plus optional records-
+// processed and bytes-processed tallies. All methods are safe on a nil
+// receiver and for concurrent use.
+type Span struct {
+	name  string
+	trace *Trace
+	start time.Time
+
+	records atomic.Int64
+	bytes   atomic.Int64
+	done    atomic.Bool
+	durNS   atomic.Int64
+}
+
+// AddRecords adds n to the span's records-processed tally.
+func (s *Span) AddRecords(n int64) {
+	if s != nil {
+		s.records.Add(n)
+	}
+}
+
+// AddBytes adds n to the span's bytes-processed tally.
+func (s *Span) AddBytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+// End closes the span and returns its wall time. Only the first End
+// takes effect; later calls return the recorded duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.done.CompareAndSwap(false, true) {
+		s.durNS.Store(int64(s.trace.now().Sub(s.start)))
+	}
+	return time.Duration(s.durNS.Load())
+}
+
+// SpanStat is a finished (or in-flight) span's summary.
+type SpanStat struct {
+	Name    string
+	Wall    time.Duration
+	Records int64
+	Bytes   int64
+}
+
+// RecordsPerSec returns the records-processed rate, or 0 for an
+// instantaneous span.
+func (s SpanStat) RecordsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.Wall.Seconds()
+}
+
+// Spans returns the summaries in start order. In-flight spans report
+// their elapsed time so far.
+func (t *Trace) Spans() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanStat, len(spans))
+	for i, s := range spans {
+		wall := time.Duration(s.durNS.Load())
+		if !s.done.Load() {
+			wall = t.now().Sub(s.start)
+		}
+		out[i] = SpanStat{Name: s.name, Wall: wall, Records: s.records.Load(), Bytes: s.bytes.Load()}
+	}
+	return out
+}
+
+// WriteTable writes the per-stage span summary as an aligned text
+// table: stage, wall time, records, records/sec, bytes. Zero tallies
+// render as "-". A nil trace writes nothing.
+func (t *Trace) WriteTable(w io.Writer) {
+	stats := t.Spans()
+	if len(stats) == 0 {
+		return
+	}
+	nameW := len("stage")
+	for _, s := range stats {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var total time.Duration
+	fmt.Fprintf(w, "%-*s  %10s  %10s  %12s  %12s\n", nameW, "stage", "wall", "records", "records/sec", "bytes")
+	for _, s := range stats {
+		total += s.Wall
+		fmt.Fprintf(w, "%-*s  %10s  %10s  %12s  %12s\n", nameW, s.Name,
+			s.Wall.Round(time.Millisecond),
+			dash(s.Records, func(v int64) string { return fmt.Sprintf("%d", v) }),
+			dashF(s.RecordsPerSec()),
+			dash(s.Bytes, func(v int64) string { return fmt.Sprintf("%d", v) }))
+	}
+	fmt.Fprintf(w, "%-*s  %10s\n", nameW, "total", total.Round(time.Millisecond))
+}
+
+func dash(v int64, f func(int64) string) string {
+	if v == 0 {
+		return "-"
+	}
+	return f(v)
+}
+
+func dashF(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

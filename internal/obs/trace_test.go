@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTrace()
+	tr.Now = func() time.Time { return now }
+
+	s := tr.Start("synth")
+	s.AddRecords(1000)
+	s.AddBytes(1 << 20)
+	now = now.Add(2 * time.Second)
+	if d := s.End(); d != 2*time.Second {
+		t.Errorf("span wall = %s, want 2s", d)
+	}
+	now = now.Add(time.Hour)
+	if d := s.End(); d != 2*time.Second {
+		t.Errorf("second End changed wall to %s", d)
+	}
+
+	stats := tr.Spans()
+	if len(stats) != 1 {
+		t.Fatalf("spans = %d, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Name != "synth" || st.Records != 1000 || st.Bytes != 1<<20 {
+		t.Errorf("span stat = %+v", st)
+	}
+	if got := st.RecordsPerSec(); got != 500 {
+		t.Errorf("records/sec = %g, want 500", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	s := tr.Start("x") // must not panic
+	s.AddRecords(1)
+	s.AddBytes(1)
+	if s.End() != 0 {
+		t.Error("nil span End != 0")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil trace Spans != nil")
+	}
+	var b strings.Builder
+	tr.WriteTable(&b) // no-op
+	if b.Len() != 0 {
+		t.Errorf("nil trace wrote %q", b.String())
+	}
+}
+
+func TestTraceWriteTable(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTrace()
+	tr.Now = func() time.Time { return now }
+
+	s := tr.Start("generate pattern dataset")
+	s.AddRecords(120000)
+	now = now.Add(1500 * time.Millisecond)
+	s.End()
+	tr.Start("figure 1").End() // instantaneous stage
+
+	var b strings.Builder
+	tr.WriteTable(&b)
+	out := b.String()
+	for _, want := range []string{"stage", "wall", "records/sec", "generate pattern dataset", "120000", "80000", "figure 1", "total", "1.5s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -147,7 +147,7 @@ func (s *Simulator) replay(r *logfmt.Record, url string) {
 	res.Requests++
 	res.ServedBytes += r.Bytes
 	srv := s.pool.Route(url)
-	srv.Requests++
+	srv.Requests.Add(1)
 	if r.Cache == logfmt.CacheUncacheable || r.Method != "GET" {
 		res.Uncacheable++
 		res.OriginBytes += r.Bytes

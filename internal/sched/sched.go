@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -70,6 +71,10 @@ type Config struct {
 	Workers int
 	// Discipline is the queueing policy.
 	Discipline Discipline
+	// Obs, if non-nil, receives every request's queueing delay into the
+	// sched_queue_latency_seconds histogram labeled by class, so scrapes
+	// see the same per-class latency distributions the Result summarizes.
+	Obs *obs.Registry
 }
 
 // ClassStats summarizes one class's latency outcomes.
@@ -122,6 +127,13 @@ func Simulate(reqs []Request, cfg Config) (Result, error) {
 	var busy time.Duration
 	var lastCompletion time.Time
 
+	var humanLat, machineLat *obs.Histogram
+	if cfg.Obs != nil {
+		cfg.Obs.Help("sched_queue_latency_seconds", "Simulated queueing delay by request class.")
+		humanLat = cfg.Obs.Histogram("sched_queue_latency_seconds", nil, "class", ClassHuman.String())
+		machineLat = cfg.Obs.Histogram("sched_queue_latency_seconds", nil, "class", ClassMachine.String())
+	}
+
 	serve := func(r Request, start time.Time) {
 		if start.Before(r.Arrival) {
 			start = r.Arrival
@@ -138,10 +150,16 @@ func Simulate(reqs []Request, cfg Config) (Result, error) {
 			humanWaits = append(humanWaits, w)
 			res.Human.Wait.Add(w)
 			res.Human.Requests++
+			if humanLat != nil {
+				humanLat.Observe(w)
+			}
 		} else {
 			machineWaits = append(machineWaits, w)
 			res.Machine.Wait.Add(w)
 			res.Machine.Requests++
+			if machineLat != nil {
+				machineLat.Observe(w)
+			}
 		}
 	}
 

@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -207,5 +209,26 @@ func TestQueueCompaction(t *testing.T) {
 	}
 	if q.len() != 0 {
 		t.Errorf("len = %d", q.len())
+	}
+}
+
+func TestSimulateObservesQueueLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	reqs := append(burst(4, ClassHuman, t0, time.Second),
+		burst(3, ClassMachine, t0, time.Second)...)
+	if _, err := Simulate(reqs, Config{Workers: 1, Discipline: PriorityHuman, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	human := reg.Histogram("sched_queue_latency_seconds", nil, "class", "human")
+	machine := reg.Histogram("sched_queue_latency_seconds", nil, "class", "machine")
+	if human.Count() != 4 || machine.Count() != 3 {
+		t.Errorf("latency observations = %d human / %d machine, want 4/3", human.Count(), machine.Count())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sched_queue_latency_seconds_count{class="machine"} 3`) {
+		t.Errorf("scrape missing machine latency count:\n%s", b.String())
 	}
 }

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"math"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SourceMix sets the share of JSON requests attributable to each traffic
@@ -88,6 +90,11 @@ type Config struct {
 	// Seattle-only and its §7 limitations call for more regions).
 	// Machine traffic is unaffected. Zero keeps the default phase.
 	UTCOffset time.Duration
+	// Obs, if non-nil, receives generation metrics: every emitted record
+	// increments synth_records_generated_total and adds its body size to
+	// synth_bytes_generated_total, so a scrape of a running generator
+	// shows its record rate.
+	Obs *obs.Registry
 }
 
 // Validate reports the first problem with the configuration, or nil.

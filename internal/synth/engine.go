@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -73,6 +74,11 @@ type generator struct {
 	cacheable  map[string]bool
 	lastServed map[string]time.Time
 
+	// recCtr/byteCtr are pre-resolved from cfg.Obs (nil when
+	// uninstrumented) so emission pays no registry lookups.
+	recCtr  *obs.Counter
+	byteCtr *obs.Counter
+
 	htmlSizes  stats.LogNormal
 	assetSizes stats.LogNormal
 
@@ -93,7 +99,7 @@ func newGenerator(cfg Config, emit func(*logfmt.Record) error) *generator {
 	if err != nil {
 		panic(err)
 	}
-	return &generator{
+	g := &generator{
 		cfg:        cfg,
 		rng:        rng,
 		universe:   BuildUniverse(cfg.Domains, rng.Split()),
@@ -105,6 +111,12 @@ func newGenerator(cfg Config, emit func(*logfmt.Record) error) *generator {
 		htmlSizes:  html,
 		assetSizes: asset,
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.Help("synth_records_generated_total", "Log records emitted by the synthetic generator.")
+		g.recCtr = cfg.Obs.Counter("synth_records_generated_total")
+		g.byteCtr = cfg.Obs.Counter("synth_bytes_generated_total")
+	}
+	return g
 }
 
 // Universe exposes the generated domain population (for tests and the
@@ -382,6 +394,10 @@ func (g *generator) run() error {
 func (g *generator) send(r *logfmt.Record) {
 	if g.emitErr != nil || r.Time.After(g.end) {
 		return
+	}
+	if g.recCtr != nil {
+		g.recCtr.Inc()
+		g.byteCtr.Add(r.Bytes)
 	}
 	if err := g.emit(r); err != nil {
 		g.emitErr = err
