@@ -14,7 +14,7 @@ build:
 test:
 	$(GO) test ./...
 
-# race covers the concurrent hot paths: the metrics substrate and the
-# net/http edge that reports into it.
+# race covers the concurrent hot paths: the metrics substrate, the
+# net/http edge that reports into it, and the retry/breaker machinery.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience

@@ -10,6 +10,8 @@
 //   - Periodicity detection (§5.1)
 //   - Ngram request prediction and URL clustering (§5.2)
 //   - Edge-cache simulation and prediction-driven prefetching
+//   - Edge↔origin resilience: fault injection, retries, breakers,
+//     serve-stale degradation
 //
 // The runnable entry points live in cmd/ (jsongen, jsonchar, jsonperiod,
 // jsonpredict, jsonprefetch, jsonrepro) and examples/.
@@ -29,6 +31,7 @@ import (
 	"repro/internal/ngram"
 	"repro/internal/periodicity"
 	"repro/internal/prefetch"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/synth"
 	"repro/internal/taxonomy"
@@ -187,6 +190,18 @@ type (
 func NewEdgePool(n int, capacityBytes int64, ttl time.Duration) *EdgePool {
 	return edge.NewPool(n, capacityBytes, ttl)
 }
+
+// Edge↔origin resilience.
+type (
+	// FaultyOrigin injects seeded, reproducible origin failures.
+	FaultyOrigin = resilience.FaultyOrigin
+	// ResilientOrigin adds timeouts, jittered retries, and a breaker.
+	ResilientOrigin = resilience.ResilientOrigin
+	// CircuitBreaker is a three-state per-origin circuit breaker.
+	CircuitBreaker = resilience.Breaker
+	// RetryBackoff is capped exponential backoff with full jitter.
+	RetryBackoff = resilience.Backoff
+)
 
 // ComparePrefetch replays records through identical edges with and
 // without ngram prefetching.

@@ -29,7 +29,9 @@ func main() {
 		window      = flag.Duration("pattern-window", 2*time.Hour, "capture window of the pattern dataset")
 		x           = flag.Int("x", 100, "periodicity permutations")
 		bin         = flag.Duration("bin", 2*time.Second, "periodicity sampling interval")
-		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional")
+		faultRate   = flag.Float64("fault-rate", 0.05, "steady-state origin error rate of the resilience experiment")
+		faultSeed   = flag.Uint64("fault-seed", 0, "seed for fault injection and backoff jitter (0 derives it from -seed)")
+		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional,resilience")
 		csvDir      = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
@@ -57,6 +59,8 @@ func main() {
 		PatternWindow: *window,
 		Permutations:  *x,
 		SampleBin:     *bin,
+		FaultRate:     *faultRate,
+		FaultSeed:     *faultSeed,
 	}
 	r := experiments.NewRunner(cfg)
 	r.Instrument(reg, tr)
@@ -100,6 +104,8 @@ func main() {
 				_, err = r.Anomaly(os.Stdout)
 			case "regional":
 				_, err = r.Regional(os.Stdout)
+			case "resilience":
+				_, err = r.Resilience(os.Stdout)
 			default:
 				err = fmt.Errorf("unknown experiment %q", name)
 			}

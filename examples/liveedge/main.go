@@ -6,12 +6,20 @@
 // metrics, expvar, and pprof while it runs, and the run ends with a
 // sample of its own /metrics scrape.
 //
+// The origin is deliberately unreliable: a seeded fault injector drops
+// a fraction of fetches (-fault-rate), and the edge survives it with
+// the full resilience stack — retries with jittered backoff, a circuit
+// breaker, and serve-stale — so the scrape sample shows the recovery
+// metrics alongside the cache ones.
+//
 //	go run ./examples/liveedge
+//	go run ./examples/liveedge -fault-rate 0.3 -fault-seed 9
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -24,16 +32,38 @@ import (
 	cdnjson "repro"
 	"repro/internal/edge"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 func main() {
 	var (
+		faultRate = flag.Float64("fault-rate", 0.15, "probability an origin fetch fails (seeded, reproducible)")
+		faultSeed = flag.Uint64("fault-seed", 7, "seed for fault injection and backoff jitter")
+	)
+	flag.Parse()
+
+	var (
 		mu   sync.Mutex
 		logs []cdnjson.Record
 	)
+	faulty := &resilience.FaultyOrigin{
+		Inner:     &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond},
+		Seed:      *faultSeed,
+		ErrorRate: *faultRate,
+	}
+	breaker := &resilience.Breaker{FailureThreshold: 5, OpenFor: 200 * time.Millisecond}
+	origin := &resilience.ResilientOrigin{
+		Inner:          faulty,
+		Retry:          resilience.Backoff{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond, Attempts: 3},
+		Breaker:        breaker,
+		AttemptTimeout: time.Second,
+		Seed:           *faultSeed + 1,
+	}
 	e := &cdnjson.HTTPEdge{
-		Cache:  edgeCache(),
-		Origin: &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond},
+		Cache:      edgeCache(),
+		Origin:     origin,
+		ServeStale: true,
+		Degraded:   origin.Degraded,
 		Log: func(r *cdnjson.Record) {
 			mu.Lock()
 			logs = append(logs, *r)
@@ -42,6 +72,8 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	e.Instrument(reg)
+	origin.Obs = resilience.NewInstrumentation(reg)
+	resilience.RegisterBreaker(reg, breaker)
 	srv := httptest.NewServer(e)
 	defer srv.Close()
 	admin := httptest.NewServer(obs.AdminMux(reg))
@@ -104,6 +136,9 @@ func main() {
 		fmt.Printf("edge cache hit ratio: %.0f%% (%d/%d cacheable requests)\n",
 			float64(hits)/float64(cacheable)*100, hits, cacheable)
 	}
+	fmt.Printf("origin faults absorbed: %d injected over %d fetches, %d retries, %d stale serves, %d breaker opens\n",
+		faulty.Faults(), faulty.Fetches(), origin.Obs.Retries.Value(),
+		e.Obs.StaleServes.Value(), breaker.Opens())
 
 	// Scrape our own admin endpoint to show the zero-to-metrics path.
 	fmt.Printf("\nsample of %s/metrics:\n", admin.URL)
@@ -111,7 +146,8 @@ func main() {
 }
 
 // printScrapeSample fetches a Prometheus endpoint and prints its edge_*
-// samples (skipping comment lines and the histogram bucket series).
+// and resilience_* samples (skipping comment lines and the histogram
+// bucket series).
 func printScrapeSample(url string) {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -122,7 +158,8 @@ func printScrapeSample(url string) {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if strings.HasPrefix(line, "edge_") && !strings.Contains(line, "_bucket{") {
+		if (strings.HasPrefix(line, "edge_") || strings.HasPrefix(line, "resilience_")) &&
+			!strings.Contains(line, "_bucket{") {
 			fmt.Printf("  %s\n", line)
 		}
 	}

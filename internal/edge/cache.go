@@ -25,6 +25,9 @@ type CacheMetrics struct {
 	// PrefetchedHits counts hits whose entry was inserted by a prefetch
 	// rather than on demand.
 	PrefetchedHits int64
+	// StaleServes counts expired entries served anyway by
+	// LookupWithStale while the origin was unavailable.
+	StaleServes int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 when empty.
@@ -125,6 +128,33 @@ func (c *Cache) Lookup(key string, now time.Time) bool {
 	return true
 }
 
+// LookupWithStale is Lookup for a degraded origin path: a live entry is
+// a hit as usual, but an expired one — which Lookup would evict and
+// count a miss — is retained and reported stale so the caller can serve
+// it while the origin recovers. Stale serves count in
+// CacheMetrics.StaleServes, not Hits; the entry's TTL is not refreshed,
+// so a later successful fetch replaces it normally.
+func (c *Cache) LookupWithStale(key string, now time.Time) (hit, stale bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.metrics.Misses++
+		return false, false
+	}
+	s.lru.MoveToFront(e.elem)
+	if now.After(e.expires) {
+		s.metrics.StaleServes++
+		return false, true
+	}
+	s.metrics.Hits++
+	if e.prefetched {
+		s.metrics.PrefetchedHits++
+	}
+	return true, false
+}
+
 // Peek reports whether key is live at now without touching recency or
 // metrics; prefetchers use it to avoid duplicate speculative inserts.
 func (c *Cache) Peek(key string, now time.Time) bool {
@@ -216,6 +246,7 @@ func (c *Cache) Metrics() CacheMetrics {
 		m.Evictions += s.metrics.Evictions
 		m.Expired += s.metrics.Expired
 		m.PrefetchedHits += s.metrics.PrefetchedHits
+		m.StaleServes += s.metrics.StaleServes
 		s.mu.Unlock()
 	}
 	return m

@@ -1,7 +1,9 @@
 package edge
 
 import (
+	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -11,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/logfmt"
+	"repro/internal/sched"
+	"repro/internal/uastring"
 )
 
 // Origin supplies content for cache misses, abstracting the CDN
@@ -26,33 +30,157 @@ type Origin interface {
 // otherwise, and every request is logged as a logfmt.Record — the same
 // schema the analyses consume, so an HTTPEdge can feed its own traffic
 // into the characterization pipeline (the liveedge example does).
-// HTTPEdge is safe for concurrent use.
+//
+// The edge degrades rather than amplifies origin failure: with
+// ServeStale set it answers a failed GET from its retained body store
+// (with Age and Warning headers), and with Degraded wired to a circuit
+// breaker it sheds machine-class requests with 503 instead of queueing
+// them against a downed origin (internal/resilience supplies both the
+// failure model and the breaker). HTTPEdge is safe for concurrent use.
 type HTTPEdge struct {
 	// Cache is the edge cache; required.
 	Cache *Cache
-	// Origin supplies misses; required.
+	// Origin supplies misses; required. Wrap it in a
+	// resilience.ResilientOrigin for retries, timeouts, and breaking.
 	Origin Origin
 	// Log, if non-nil, receives a record per request. The record is
 	// freshly allocated per call and may be retained.
 	Log func(*logfmt.Record)
 	// Obs, if non-nil, receives request metrics: per-method request
-	// counts, bytes served, origin fetch latency, and 304 counts. Wire
-	// it with Instrument, which also registers the cache's metrics.
+	// counts, bytes served, origin fetch latency, 304 counts, stale
+	// serves, and sheds. Wire it with Instrument, which also registers
+	// the cache's metrics.
 	Obs *Instrumentation
 	// Now supplies time (defaults to time.Now); tests override it.
 	Now func() time.Time
+	// ServeStale enables serve-stale-on-error: when the origin fails a
+	// GET or HEAD and a previously fetched copy is still in the body
+	// store, that copy is served (200, X-Cache: STALE, an Age header,
+	// and the RFC 7234 "110 Response is Stale" warning) instead of the
+	// error — how a real CDN shields clients from origin brownouts.
+	ServeStale bool
+	// Degraded, if non-nil, reports that the origin path is degraded
+	// (typically resilience.ResilientOrigin.Degraded, i.e. breaker
+	// open). While degraded, requests classified sched.ClassMachine
+	// that cannot be served from cache are shed with 503: no human is
+	// waiting on them, and a recovering origin needs the headroom.
+	Degraded func() bool
+	// Classify maps a request to its sched class for shedding; nil uses
+	// ClassifyRequest.
+	Classify func(*http.Request) sched.Class
+	// MaxBodies bounds the retained response bodies (default 65536);
+	// beyond it the least recently used body is evicted.
+	MaxBodies int
 
-	mu     sync.Mutex
-	bodies map[string][]byte
+	mu      sync.Mutex
+	bodies  map[string]*storedBody
+	bodyLRU *list.List // front = most recent
 }
 
 const maxBodyStore = 1 << 16
+
+// storedBody is one retained response body. Bodies outlive their cache
+// entry's TTL on purpose: an expired body is exactly what the
+// serve-stale path needs when the origin is down.
+type storedBody struct {
+	body     []byte
+	mime     string
+	storedAt time.Time
+	key      string
+	elem     *list.Element
+}
 
 func (e *HTTPEdge) now() time.Time {
 	if e.Now != nil {
 		return e.Now()
 	}
 	return time.Now()
+}
+
+func (e *HTTPEdge) maxBodies() int {
+	if e.MaxBodies > 0 {
+		return e.MaxBodies
+	}
+	return maxBodyStore
+}
+
+// storeBody retains a response body for later hits and stale serves,
+// evicting the least recently used entry past MaxBodies.
+func (e *HTTPEdge) storeBody(key string, body []byte, mime string, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bodies == nil {
+		e.bodies = make(map[string]*storedBody)
+		e.bodyLRU = list.New()
+	}
+	if sb, ok := e.bodies[key]; ok {
+		sb.body, sb.mime, sb.storedAt = body, mime, now
+		e.bodyLRU.MoveToFront(sb.elem)
+		return
+	}
+	sb := &storedBody{body: body, mime: mime, storedAt: now, key: key}
+	sb.elem = e.bodyLRU.PushFront(sb)
+	e.bodies[key] = sb
+	for len(e.bodies) > e.maxBodies() {
+		back := e.bodyLRU.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*storedBody)
+		e.bodyLRU.Remove(back)
+		delete(e.bodies, victim.key)
+	}
+}
+
+// loadBody returns the retained body for key, refreshing its recency.
+func (e *HTTPEdge) loadBody(key string) (*storedBody, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sb, ok := e.bodies[key]
+	if ok {
+		e.bodyLRU.MoveToFront(sb.elem)
+	}
+	return sb, ok
+}
+
+// storedBodies returns the number of retained bodies (tests assert the
+// MaxBodies bound holds).
+func (e *HTTPEdge) storedBodies() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.bodies)
+}
+
+// ClassifyRequest is the default shed classifier, reusing the
+// scheduler's taxonomy (§7): telemetry ingest, non-GET methods, and
+// embedded-device user agents are machine-to-machine — no human is
+// waiting — and everything else is human.
+func ClassifyRequest(r *http.Request) sched.Class {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return sched.ClassMachine
+	}
+	if strings.HasPrefix(r.URL.Path, "/ingest/") {
+		return sched.ClassMachine
+	}
+	if uastring.Classify(r.UserAgent()).Device == uastring.DeviceEmbedded {
+		return sched.ClassMachine
+	}
+	return sched.ClassHuman
+}
+
+func (e *HTTPEdge) classify(r *http.Request) sched.Class {
+	if e.Classify != nil {
+		return e.Classify(r)
+	}
+	return ClassifyRequest(r)
+}
+
+// isTemporary reports whether an origin error is transient (it
+// implements Temporary() bool, as resilience errors do): the edge
+// answers 503 rather than 404 and may serve stale.
+func isTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
 }
 
 // ServeHTTP implements http.Handler.
@@ -63,14 +191,12 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var body []byte
 	var mime string
 	cacheStatus := logfmt.CacheUncacheable
+	stale := false
 
 	serveFromCache := r.Method == http.MethodGet && e.Cache.Lookup(key, now)
 	if serveFromCache {
-		e.mu.Lock()
-		cached, ok := e.bodies[key]
-		e.mu.Unlock()
-		if ok {
-			body, mime, cacheStatus = cached, "application/json", logfmt.CacheHit
+		if sb, ok := e.loadBody(key); ok {
+			body, mime, cacheStatus = sb.body, sb.mime, logfmt.CacheHit
 		} else {
 			serveFromCache = false // evicted body; refetch below
 		}
@@ -79,6 +205,26 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		e.Obs.requests(r.Method).Inc()
 	}
 	if !serveFromCache {
+		// Load-shed while the origin path is degraded: machine-class
+		// requests that would need the origin get a 503 immediately.
+		if e.Degraded != nil && e.Degraded() {
+			if class := e.classify(r); class == sched.ClassMachine {
+				if e.Obs != nil {
+					e.Obs.shed(class).Inc()
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				shedBody := []byte(`{"error":"shedding load"}`)
+				if r.Method != http.MethodHead {
+					w.Write(shedBody)
+				}
+				if e.Log != nil {
+					e.logRequest(r, now, "application/json", http.StatusServiceUnavailable, int64(len(shedBody)), logfmt.CacheUncacheable)
+				}
+				return
+			}
+		}
 		var fetchStart time.Time
 		if e.Obs != nil {
 			// Origin latency is real wall time even when e.Now is a test
@@ -94,26 +240,39 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err != nil {
-			status = http.StatusNotFound
-			b, m = []byte(`{"error":"not found"}`), "application/json"
-			cacheable = false
-		}
-		body, mime = b, m
-		switch {
-		case !cacheable || r.Method != http.MethodGet:
-			cacheStatus = logfmt.CacheUncacheable
-		default:
-			cacheStatus = logfmt.CacheMiss
-			e.Cache.Insert(key, int64(len(body)), now, false)
-			e.mu.Lock()
-			if e.bodies == nil {
-				e.bodies = make(map[string][]byte)
+			// Serve-stale degradation: a retained copy beats an error.
+			if e.ServeStale && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+				if sb, ok := e.loadBody(key); ok {
+					body, mime, cacheStatus = sb.body, sb.mime, logfmt.CacheHit
+					stale = true
+					if e.Obs != nil {
+						e.Obs.StaleServes.Inc()
+					}
+					w.Header().Set("Age", strconv.Itoa(int(now.Sub(sb.storedAt)/time.Second)))
+					w.Header().Set("Warning", `110 - "Response is Stale"`)
+				}
 			}
-			if len(e.bodies) >= maxBodyStore {
-				e.bodies = make(map[string][]byte) // crude bound for the demo proxy
+			if !stale {
+				if isTemporary(err) {
+					status = http.StatusServiceUnavailable
+					b, m = []byte(`{"error":"origin unavailable"}`), "application/json"
+				} else {
+					status = http.StatusNotFound
+					b, m = []byte(`{"error":"not found"}`), "application/json"
+				}
+				cacheable = false
+				body, mime = b, m
 			}
-			e.bodies[key] = body
-			e.mu.Unlock()
+		} else {
+			body, mime = b, m
+			switch {
+			case !cacheable || r.Method != http.MethodGet:
+				cacheStatus = logfmt.CacheUncacheable
+			default:
+				cacheStatus = logfmt.CacheMiss
+				e.Cache.Insert(key, int64(len(body)), now, false)
+				e.storeBody(key, body, mime, now)
+			}
 		}
 	}
 
@@ -123,7 +282,7 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	etag := etagFor(body)
 	if status == http.StatusOK && r.Header.Get("If-None-Match") == etag {
 		w.Header().Set("ETag", etag)
-		w.Header().Set("X-Cache", strings.ToUpper(cacheStatus.String()))
+		w.Header().Set("X-Cache", cacheLabel(cacheStatus, stale))
 		w.WriteHeader(http.StatusNotModified)
 		if e.Obs != nil {
 			e.Obs.NotModified.Inc()
@@ -136,7 +295,7 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", mime)
 	w.Header().Set("ETag", etag)
-	w.Header().Set("X-Cache", strings.ToUpper(cacheStatus.String()))
+	w.Header().Set("X-Cache", cacheLabel(cacheStatus, stale))
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	if r.Method != http.MethodHead {
@@ -149,6 +308,14 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if e.Log != nil {
 		e.logRequest(r, now, mime, status, int64(len(body)), cacheStatus)
 	}
+}
+
+// cacheLabel renders the X-Cache header value.
+func cacheLabel(s logfmt.CacheStatus, stale bool) string {
+	if stale {
+		return "STALE"
+	}
+	return strings.ToUpper(s.String())
 }
 
 func (e *HTTPEdge) logRequest(r *http.Request, now time.Time, mime string, status int, size int64, cache logfmt.CacheStatus) {

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Instrumentation holds the pre-resolved request-level metrics an
@@ -29,6 +30,13 @@ type Instrumentation struct {
 	// OriginErrors counts failed origin fetches
 	// (edge_origin_errors_total).
 	OriginErrors *obs.Counter
+	// StaleServes counts responses served from an expired copy after an
+	// origin failure (edge_stale_serves_total).
+	StaleServes *obs.Counter
+	// ShedMachine and ShedHuman count load-shed requests by class into
+	// edge_shed_total{class=...}.
+	ShedMachine *obs.Counter
+	ShedHuman   *obs.Counter
 }
 
 // NewInstrumentation registers the HTTPEdge request metrics in reg and
@@ -38,6 +46,8 @@ func NewInstrumentation(reg *obs.Registry) *Instrumentation {
 	reg.Help("edge_requests_total", "Requests served by the edge, by method.")
 	reg.Help("edge_bytes_served_total", "Response body bytes written to clients.")
 	reg.Help("edge_origin_fetch_seconds", "Origin fetch round-trip latency.")
+	reg.Help("edge_stale_serves_total", "Responses served stale after an origin failure.")
+	reg.Help("edge_shed_total", "Requests shed while the origin path was degraded, by class.")
 	return &Instrumentation{
 		GETRequests:   reg.Counter("edge_requests_total", "method", "get"),
 		POSTRequests:  reg.Counter("edge_requests_total", "method", "post"),
@@ -47,7 +57,18 @@ func NewInstrumentation(reg *obs.Registry) *Instrumentation {
 		BytesServed:   reg.Counter("edge_bytes_served_total"),
 		OriginFetch:   reg.Histogram("edge_origin_fetch_seconds", nil),
 		OriginErrors:  reg.Counter("edge_origin_errors_total"),
+		StaleServes:   reg.Counter("edge_stale_serves_total"),
+		ShedMachine:   reg.Counter("edge_shed_total", "class", sched.ClassMachine.String()),
+		ShedHuman:     reg.Counter("edge_shed_total", "class", sched.ClassHuman.String()),
 	}
+}
+
+// shed returns the shed counter for one request class.
+func (in *Instrumentation) shed(class sched.Class) *obs.Counter {
+	if class == sched.ClassMachine {
+		return in.ShedMachine
+	}
+	return in.ShedHuman
 }
 
 // requests returns the counter for one request method.
@@ -91,6 +112,7 @@ func RegisterCacheMetrics(reg *obs.Registry, c *Cache, labels ...string) {
 	reg.CounterFunc("edge_cache_evictions_total", func() int64 { return c.MetricsSnapshot().Evictions }, labels...)
 	reg.CounterFunc("edge_cache_expired_total", func() int64 { return c.MetricsSnapshot().Expired }, labels...)
 	reg.CounterFunc("edge_cache_prefetched_hits_total", func() int64 { return c.MetricsSnapshot().PrefetchedHits }, labels...)
+	reg.CounterFunc("edge_cache_stale_serves_total", func() int64 { return c.MetricsSnapshot().StaleServes }, labels...)
 	reg.GaugeFunc("edge_cache_entries", func() float64 { return float64(c.Len()) }, labels...)
 	reg.GaugeFunc("edge_cache_bytes", func() float64 { return float64(c.Bytes()) }, labels...)
 }

@@ -39,6 +39,12 @@ type Config struct {
 	// SampleBin is the periodicity sampling interval (paper: 1 s; the
 	// scaled default is 2 s to bound FFT cost on long windows).
 	SampleBin time.Duration
+	// FaultRate is the steady-state origin error rate of the resilience
+	// experiment (default 0.05).
+	FaultRate float64
+	// FaultSeed seeds fault injection and backoff jitter; 0 derives it
+	// from Seed.
+	FaultSeed uint64
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -68,6 +74,12 @@ func (c *Config) sanitize() {
 	}
 	if c.SampleBin <= 0 {
 		c.SampleBin = 2 * time.Second
+	}
+	if c.FaultRate <= 0 {
+		c.FaultRate = 0.05
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed + 2
 	}
 }
 

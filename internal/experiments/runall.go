@@ -17,6 +17,7 @@ type Report struct {
 	Deprioritize DeprioritizeResult
 	Anomaly      AnomalyResult
 	Regional     RegionalResult
+	Resilience   ResilienceResult
 }
 
 // RunAll executes every experiment in paper order, writing the formatted
@@ -74,6 +75,10 @@ func (r *Runner) RunAll(w io.Writer) (*Report, error) {
 		}},
 		{"Regional vantages (§7 limitation)", "regional", func(w io.Writer) (err error) {
 			rep.Regional, err = r.Regional(w)
+			return
+		}},
+		{"Resilience under origin faults (robustness)", "resilience", func(w io.Writer) (err error) {
+			rep.Resilience, err = r.Resilience(w)
 			return
 		}},
 	}

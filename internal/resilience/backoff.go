@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Backoff is capped exponential backoff with full jitter: before retry
+// n (1-based) the caller sleeps a uniform duration in
+// [0, min(Cap, Base·2ⁿ⁻¹)). Full jitter spreads synchronized retriers —
+// the paper's fixed-interval M2M pollers fail in lockstep, and
+// deterministic backoff would re-synchronize their retries into waves.
+type Backoff struct {
+	// Base scales the first retry's delay bound (default 10ms).
+	Base time.Duration
+	// Cap bounds every delay (default 1s).
+	Cap time.Duration
+	// Attempts is the total number of tries including the first
+	// (default 3; 1 disables retries).
+	Attempts int
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 10 * time.Millisecond
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return time.Second
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 3
+}
+
+// Bound returns the un-jittered upper bound for retry n (1-based):
+// min(Cap, Base·2ⁿ⁻¹).
+func (b Backoff) Bound(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := b.base()
+	max := b.cap()
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Delay returns the jittered delay before retry n (1-based), drawing
+// from rng: uniform in [0, Bound(n)).
+func (b Backoff) Delay(retry int, rng *stats.RNG) time.Duration {
+	return time.Duration(rng.Float64() * float64(b.Bound(retry)))
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestBackoffJitterBounds draws many delays per retry index and checks
+// every one lands inside the full-jitter interval [0, min(Cap, Base·2ⁿ⁻¹)).
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Attempts: 6}
+	rng := stats.NewRNG(1)
+	wantBounds := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for retry := 1; retry <= len(wantBounds); retry++ {
+		bound := b.Bound(retry)
+		if bound != wantBounds[retry-1] {
+			t.Fatalf("Bound(%d) = %v, want %v", retry, bound, wantBounds[retry-1])
+		}
+		for i := 0; i < 1000; i++ {
+			d := b.Delay(retry, rng)
+			if d < 0 || d >= bound {
+				t.Fatalf("Delay(%d) = %v, want in [0, %v)", retry, d, bound)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic checks that the same seed replays the same
+// delay sequence: the property the brownout experiment relies on.
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: time.Second}
+	seq := func() []time.Duration {
+		rng := stats.NewRNG(99)
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = b.Delay(1+i%4, rng)
+		}
+		return out
+	}
+	a, c := seq(), seq()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("delay %d differs across seeded runs: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.attempts(); got != 3 {
+		t.Errorf("default attempts = %d, want 3", got)
+	}
+	if got := b.Bound(1); got != 10*time.Millisecond {
+		t.Errorf("default first bound = %v, want 10ms", got)
+	}
+	if got := b.Bound(100); got != time.Second {
+		t.Errorf("default cap = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed→open→half-open→closed
+// cycle on a deterministic clock, checking state and admission at each
+// step.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{
+		FailureThreshold: 3,
+		OpenFor:          10 * time.Second,
+		ProbeSuccesses:   2,
+		Now:              func() time.Time { return now },
+	}
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after sub-threshold failures = %v, want closed", got)
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before OpenFor elapsed")
+	}
+
+	// After OpenFor it half-opens and admits exactly one probe.
+	now = now.Add(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after OpenFor elapsed")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure reopens immediately.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+
+	// Recovery: two probe successes (ProbeSuccesses) close it.
+	now = now.Add(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the recovery probe")
+	}
+	b.Success()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after first probe success = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the next probe after the first returned")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after %d probe successes = %v, want closed", b.ProbeSuccesses, got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 5; i++ {
+		if got := b.State(); got != StateClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i, got)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 5 failures = %v, want open (default threshold)", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateClosed:   "closed",
+		StateHalfOpen: "half-open",
+		StateOpen:     "open",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

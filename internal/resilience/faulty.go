@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Window is one scripted brownout: a half-open interval [From, To) on
+// the origin's clock during which the error rate is elevated.
+type Window struct {
+	From, To time.Time
+	// ErrorRate is the failure probability inside the window; values
+	// <= 0 mean a total outage (rate 1).
+	ErrorRate float64
+}
+
+func (w Window) rate() float64 {
+	if w.ErrorRate <= 0 {
+		return 1
+	}
+	return w.ErrorRate
+}
+
+func (w Window) contains(t time.Time) bool {
+	return !t.Before(w.From) && t.Before(w.To)
+}
+
+// FaultyOrigin wraps an Origin and injects reproducible failures:
+// seeded random errors, scripted brownout windows, latency with jitter,
+// and payload corruption. Every decision comes from a deterministic RNG
+// seeded by Seed, so a serial request stream replays the exact same
+// fault pattern run after run — the property the robustness tests and
+// the brownout experiment are built on. Safe for concurrent use, though
+// concurrent callers interleave RNG draws nondeterministically.
+type FaultyOrigin struct {
+	// Inner is the wrapped origin; required.
+	Inner Origin
+	// Seed drives every fault decision.
+	Seed uint64
+	// ErrorRate is the steady-state probability a fetch fails with
+	// ErrInjected.
+	ErrorRate float64
+	// CorruptRate is the probability a successful fetch's payload is
+	// corrupted in flight (one byte flipped), modeling the truncated or
+	// mangled JSON a real edge must tolerate.
+	CorruptRate float64
+	// Latency is a fixed delay added to every fetch; LatencyJitter adds
+	// a further uniform [0, LatencyJitter) on top.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// Brownouts are scripted high-error windows evaluated against Now.
+	Brownouts []Window
+	// Now supplies the clock Brownouts are scripted against (defaults
+	// to time.Now); the experiment shares one simulated clock between
+	// the edge and the origin so brownouts line up across runs.
+	Now func() time.Time
+	// Sleep applies latency (defaults to time.Sleep); tests and the
+	// experiment use a no-op.
+	Sleep func(time.Duration)
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	fetches int64
+	faults  int64
+}
+
+func (o *FaultyOrigin) now() time.Time {
+	if o.Now != nil {
+		return o.Now()
+	}
+	return time.Now()
+}
+
+// Fetch implements Origin.
+func (o *FaultyOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	now := o.now()
+	o.mu.Lock()
+	if o.rng == nil {
+		o.rng = stats.NewRNG(o.Seed)
+	}
+	seq := o.fetches
+	o.fetches++
+	rate := o.ErrorRate
+	for _, w := range o.Brownouts {
+		if w.contains(now) {
+			rate = w.rate()
+		}
+	}
+	// Always draw the error and corruption variates so the decision at
+	// fetch #n is independent of earlier rates: the same seed yields the
+	// same pattern whether or not a brownout is scripted.
+	fail := o.rng.Float64() < rate
+	corrupt := o.rng.Float64() < o.CorruptRate
+	var jitter time.Duration
+	if o.LatencyJitter > 0 {
+		jitter = time.Duration(o.rng.Float64() * float64(o.LatencyJitter))
+	}
+	if fail {
+		o.faults++
+	}
+	o.mu.Unlock()
+
+	if d := o.Latency + jitter; d > 0 {
+		if o.Sleep != nil {
+			o.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	if fail {
+		return nil, "", false, fmt.Errorf("fetch %d of %q: %w", seq, path, ErrInjected)
+	}
+	body, mime, cacheable, err := o.Inner.Fetch(path)
+	if err == nil && corrupt && len(body) > 0 {
+		// Flip one deterministic byte on a private copy.
+		c := make([]byte, len(body))
+		copy(c, body)
+		c[int(seq)%len(c)] ^= 0xFF
+		body = c
+	}
+	return body, mime, cacheable, err
+}
+
+// Fetches returns the number of Fetch calls seen.
+func (o *FaultyOrigin) Fetches() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fetches
+}
+
+// Faults returns the number of injected failures.
+func (o *FaultyOrigin) Faults() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.faults
+}

@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// stubOrigin always succeeds with a fixed payload.
+type stubOrigin struct{ calls int }
+
+func (s *stubOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	s.calls++
+	return []byte(`{"path":"` + path + `"}`), "application/json", true, nil
+}
+
+func faultPattern(t *testing.T, seed uint64, n int) []bool {
+	t.Helper()
+	o := &FaultyOrigin{Inner: &stubOrigin{}, Seed: seed, ErrorRate: 0.3}
+	out := make([]bool, n)
+	for i := range out {
+		_, _, _, err := o.Fetch("/x")
+		out[i] = err != nil
+	}
+	return out
+}
+
+// TestFaultyOriginDeterministic: the same seed yields the same fault
+// pattern; a different seed yields a different one.
+func TestFaultyOriginDeterministic(t *testing.T) {
+	a := faultPattern(t, 7, 200)
+	b := faultPattern(t, 7, 200)
+	c := faultPattern(t, 8, 200)
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+	}
+	if !same {
+		t.Error("same seed produced different fault patterns")
+	}
+	if !diff {
+		t.Error("different seeds produced identical fault patterns")
+	}
+	faults := 0
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	// 200 draws at rate 0.3: expect ~60, allow a wide deterministic band.
+	if faults < 30 || faults > 90 {
+		t.Errorf("faults = %d/200 at rate 0.3, want roughly 60", faults)
+	}
+}
+
+// TestFaultyOriginBrownout scripts a total outage window on a
+// simulated clock: inside it every fetch fails, outside none do.
+func TestFaultyOriginBrownout(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	now := epoch
+	o := &FaultyOrigin{
+		Inner: &stubOrigin{},
+		Brownouts: []Window{{
+			From: epoch.Add(10 * time.Second),
+			To:   epoch.Add(20 * time.Second),
+		}},
+		Now: func() time.Time { return now },
+	}
+	for i := 0; i < 30; i++ {
+		now = epoch.Add(time.Duration(i) * time.Second)
+		_, _, _, err := o.Fetch("/x")
+		inWindow := i >= 10 && i < 20
+		if inWindow && err == nil {
+			t.Fatalf("fetch at t=%ds succeeded inside the brownout", i)
+		}
+		if !inWindow && err != nil {
+			t.Fatalf("fetch at t=%ds failed outside the brownout: %v", i, err)
+		}
+		if inWindow && !errors.Is(err, ErrInjected) {
+			t.Fatalf("brownout error = %v, want ErrInjected", err)
+		}
+		if inWindow && !IsTemporary(err) {
+			t.Fatal("injected fault is not temporary")
+		}
+	}
+	if got := o.Faults(); got != 10 {
+		t.Errorf("faults = %d, want 10", got)
+	}
+	if got := o.Fetches(); got != 30 {
+		t.Errorf("fetches = %d, want 30", got)
+	}
+}
+
+// TestFaultyOriginCorruption: at rate 1 every payload is corrupted, and
+// the inner origin's body is left untouched.
+func TestFaultyOriginCorruption(t *testing.T) {
+	inner := &stubOrigin{}
+	clean, _, _, _ := inner.Fetch("/x")
+	o := &FaultyOrigin{Inner: inner, CorruptRate: 1}
+	body, _, _, err := o.Fetch("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(body, clean) {
+		t.Error("corrupted body equals the clean payload")
+	}
+	if len(body) != len(clean) {
+		t.Errorf("corruption changed length: %d vs %d", len(body), len(clean))
+	}
+}
+
+// TestFaultyOriginLatency: injected latency flows through the Sleep
+// hook with jitter bounded by LatencyJitter.
+func TestFaultyOriginLatency(t *testing.T) {
+	var slept []time.Duration
+	o := &FaultyOrigin{
+		Inner:         &stubOrigin{},
+		Latency:       5 * time.Millisecond,
+		LatencyJitter: 3 * time.Millisecond,
+		Sleep:         func(d time.Duration) { slept = append(slept, d) },
+	}
+	for i := 0; i < 50; i++ {
+		o.Fetch("/x")
+	}
+	if len(slept) != 50 {
+		t.Fatalf("slept %d times, want 50", len(slept))
+	}
+	for _, d := range slept {
+		if d < 5*time.Millisecond || d >= 8*time.Millisecond {
+			t.Fatalf("sleep = %v, want in [5ms, 8ms)", d)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flakyOrigin fails its first failures calls with a temporary error,
+// then succeeds.
+type flakyOrigin struct {
+	failures int
+	calls    int
+}
+
+func (f *flakyOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, "", false, ErrInjected
+	}
+	return []byte(`{"ok":true}`), "application/json", true, nil
+}
+
+func noSleep(time.Duration) {}
+
+// TestResilientOriginRetriesRecover: two transient failures, three
+// attempts — the fetch succeeds and the metrics account for every
+// attempt.
+func TestResilientOriginRetriesRecover(t *testing.T) {
+	inner := &flakyOrigin{failures: 2}
+	inst := NewInstrumentation(obs.NewRegistry())
+	ro := &ResilientOrigin{
+		Inner: inner,
+		Retry: Backoff{Attempts: 3},
+		Sleep: noSleep,
+		Obs:   inst,
+	}
+	body, mime, cacheable, err := ro.Fetch("/x")
+	if err != nil {
+		t.Fatalf("fetch failed despite retries: %v", err)
+	}
+	if string(body) != `{"ok":true}` || mime != "application/json" || !cacheable {
+		t.Errorf("unexpected result: %q %q %v", body, mime, cacheable)
+	}
+	if inner.calls != 3 {
+		t.Errorf("origin calls = %d, want 3", inner.calls)
+	}
+	if got := inst.Retries.Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := inst.AttemptError.Value(); got != 2 {
+		t.Errorf("error attempts = %d, want 2", got)
+	}
+	if got := inst.AttemptOK.Value(); got != 1 {
+		t.Errorf("ok attempts = %d, want 1", got)
+	}
+	if got := inst.AttemptSeconds.Count(); got != 3 {
+		t.Errorf("attempt latency observations = %d, want 3", got)
+	}
+}
+
+// TestResilientOriginExhaustsRetries: a persistently failing origin
+// exhausts the budget and surfaces the last error, still temporary.
+func TestResilientOriginExhaustsRetries(t *testing.T) {
+	inner := &flakyOrigin{failures: 10}
+	ro := &ResilientOrigin{Inner: inner, Retry: Backoff{Attempts: 3}, Sleep: noSleep}
+	_, _, _, err := ro.Fetch("/x")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTemporary(err) {
+		t.Error("exhausted-retries error lost its temporary marker")
+	}
+	if inner.calls != 3 {
+		t.Errorf("origin calls = %d, want 3", inner.calls)
+	}
+}
+
+// TestResilientOriginHardErrorsSkipRetry: a non-temporary error (the
+// object does not exist) returns immediately and does not trip the
+// breaker.
+func TestResilientOriginHardErrorsSkipRetry(t *testing.T) {
+	inner := &hardErrOrigin{}
+	b := &Breaker{FailureThreshold: 1}
+	ro := &ResilientOrigin{Inner: inner, Retry: Backoff{Attempts: 3}, Breaker: b, Sleep: noSleep}
+	_, _, _, err := ro.Fetch("/missing")
+	if err == nil || IsTemporary(err) {
+		t.Fatalf("err = %v, want a hard error", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("origin calls = %d, want 1 (no retry on hard errors)", inner.calls)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Errorf("breaker state = %v, want closed (404s are not outages)", got)
+	}
+}
+
+type hardErrOrigin struct{ calls int }
+
+func (h *hardErrOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	h.calls++
+	return nil, "", false, fmt.Errorf("no route %q", path)
+}
+
+// TestResilientOriginBreakerOpens: sustained failure trips the breaker;
+// the next fetch is rejected without touching the origin.
+func TestResilientOriginBreakerOpens(t *testing.T) {
+	inner := &flakyOrigin{failures: 1 << 30}
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 3, OpenFor: time.Minute, Now: func() time.Time { return now }}
+	inst := NewInstrumentation(obs.NewRegistry())
+	ro := &ResilientOrigin{Inner: inner, Retry: Backoff{Attempts: 3}, Breaker: b, Sleep: noSleep, Obs: inst}
+
+	ro.Fetch("/x") // three failing attempts trip the threshold
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("breaker state after failures = %v, want open", got)
+	}
+	if ro.Healthy() || !ro.Degraded() {
+		t.Error("open breaker not reported as degraded")
+	}
+	calls := inner.calls
+	_, _, _, err := ro.Fetch("/x")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if inner.calls != calls {
+		t.Error("open breaker let a fetch through to the origin")
+	}
+	if got := inst.BreakerRejects.Value(); got != 1 {
+		t.Errorf("breaker rejects = %d, want 1", got)
+	}
+
+	// After OpenFor, the probe admits one attempt; success ×2 closes.
+	inner.failures = 0
+	now = now.Add(time.Minute)
+	if _, _, _, err := ro.Fetch("/x"); err != nil {
+		t.Fatalf("probe fetch failed: %v", err)
+	}
+	if _, _, _, err := ro.Fetch("/x"); err != nil {
+		t.Fatalf("second probe fetch failed: %v", err)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Errorf("breaker state after recovery = %v, want closed", got)
+	}
+}
+
+// slowOrigin blocks until released.
+type slowOrigin struct{ release chan struct{} }
+
+func (s *slowOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	<-s.release
+	return []byte("{}"), "application/json", true, nil
+}
+
+// TestResilientOriginAttemptTimeout: a hung origin turns into
+// ErrAttemptTimeout (temporary, counted) instead of blocking forever.
+func TestResilientOriginAttemptTimeout(t *testing.T) {
+	inner := &slowOrigin{release: make(chan struct{})}
+	defer close(inner.release)
+	inst := NewInstrumentation(obs.NewRegistry())
+	ro := &ResilientOrigin{
+		Inner:          inner,
+		Retry:          Backoff{Attempts: 2},
+		AttemptTimeout: 5 * time.Millisecond,
+		Sleep:          noSleep,
+		Obs:            inst,
+	}
+	_, _, _, err := ro.Fetch("/x")
+	if !errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("err = %v, want ErrAttemptTimeout", err)
+	}
+	if !IsTemporary(err) {
+		t.Error("timeout error is not temporary")
+	}
+	if got := inst.AttemptTimeout.Value(); got != 2 {
+		t.Errorf("timeout attempts = %d, want 2", got)
+	}
+}
