@@ -1,9 +1,10 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race
+.PHONY: ci vet build test race fuzz
 
 # ci is the tier-1 gate: everything below, in order.
-ci: vet build test race
+ci: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +16,15 @@ test:
 	$(GO) test ./...
 
 # race covers the concurrent hot paths: the metrics substrate, the
-# net/http edge that reports into it, and the retry/breaker machinery.
+# net/http edge that reports into it, the retry/breaker machinery, and
+# the bounded ingest pipeline.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest
+
+# fuzz gives each decode-path fuzzer a short budget (go only runs one
+# fuzz target per invocation). Raise FUZZTIME for a longer soak.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseTSV -fuzztime=$(FUZZTIME) ./internal/logfmt
+	$(GO) test -run=^$$ -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME) ./internal/logfmt
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalJSONLine -fuzztime=$(FUZZTIME) ./internal/logfmt
+	$(GO) test -run=^$$ -fuzz=FuzzTolerantReader -fuzztime=$(FUZZTIME) ./internal/ingest

@@ -6,18 +6,30 @@
 // Usage:
 //
 //	jsonchar -i logs.tsv.gz
+//	jsonchar -i logs.cdnb -max-error-rate 0.1 -dead-letter bad.jsonl
 //	jsonchar -synth -scale 0.002
 //	jsonchar -synth -trace -metrics-addr :9090
+//
+// File input goes through the tolerant ingest path: malformed records
+// are quarantined (optionally to a -dead-letter JSONL file) and the
+// run survives as long as the corrupt fraction stays under
+// -max-error-rate. SIGINT/SIGTERM stops ingest early but still prints
+// the characterization of what was read.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/domaincat"
+	"repro/internal/ingest"
 	"repro/internal/logfmt"
 	"repro/internal/obs"
 	"repro/internal/rollup"
@@ -29,15 +41,22 @@ import (
 
 func main() {
 	var (
-		in          = flag.String("i", "", "input log file (.tsv/.jsonl[.gz])")
+		in          = flag.String("i", "", "input log file (.tsv/.jsonl/.cdnb[.gz])")
 		useSynth    = flag.Bool("synth", false, "characterize a freshly generated short-term dataset")
 		scale       = flag.Float64("scale", 0.002, "scale for -synth")
 		seed        = flag.Uint64("seed", 42, "seed for -synth")
 		topApps     = flag.Int("top-apps", 10, "how many applications to list")
+		maxErrRate  = flag.Float64("max-error-rate", 0.05, "abort file ingest when more than this fraction of records is corrupt")
+		deadLetter  = flag.String("dead-letter", "", "append quarantined record spans to this JSONL file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 		trace       = flag.Bool("trace", false, "print a per-stage span table after the run")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancels ingest between records; the report over the
+	// records read so far still prints and the process exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	var tr *obs.Trace
@@ -55,13 +74,30 @@ func main() {
 	}
 
 	var src core.Source
+	var fileSrc *ingest.FileSource
 	switch {
 	case *useSynth:
 		cfg := synth.ShortTermConfig(*seed, *scale)
 		cfg.Obs = reg
 		src = core.SynthSource(cfg)
 	case *in != "":
-		src = core.FileSource(*in)
+		opts := ingest.Options{
+			MaxErrorRate: *maxErrRate,
+			Metrics:      ingest.NewInstrumentation(reg),
+		}
+		if *deadLetter != "" {
+			dl, err := os.OpenFile(*deadLetter, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
+				os.Exit(1)
+			}
+			defer dl.Close()
+			opts.DeadLetter = ingest.NewDeadLetter(dl)
+			defer opts.DeadLetter.Flush()
+		}
+		fileSrc = &ingest.FileSource{Path: *in, Ctx: ctx,
+			Config: ingest.PipelineConfig{Options: opts}}
+		src = fileSrc
 	default:
 		fmt.Fprintln(os.Stderr, "jsonchar: need -i FILE or -synth")
 		os.Exit(2)
@@ -73,6 +109,9 @@ func main() {
 	fine := rollup.New(10 * time.Minute)
 	sp := tr.Start("ingest + characterize")
 	err := src.Each(func(r *logfmt.Record) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sp.AddRecords(1)
 		sp.AddBytes(r.Bytes)
 		char.ObserveAny(r)
@@ -84,9 +123,19 @@ func main() {
 		return nil
 	})
 	sp.End()
-	if err != nil {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "jsonchar: interrupted — reporting partial results")
+	} else if err != nil {
 		fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
 		os.Exit(1)
+	}
+	if fileSrc != nil {
+		if st := fileSrc.LastStats; st.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr,
+				"jsonchar: quarantined %d of %d records (%.2f%% corrupt, %d resyncs, %d bytes skipped)\n",
+				st.Quarantined, st.Records+st.Quarantined, st.ErrorRate()*100,
+				st.Resyncs, st.BytesSkipped)
+		}
 	}
 	if char.Total == 0 {
 		fmt.Fprintln(os.Stderr, "jsonchar: no application/json records in input")

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -37,6 +41,11 @@ func main() {
 		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancels the run at the next step boundary; the
+	// partial report still prints and the process exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	var tr *obs.Trace
@@ -66,12 +75,19 @@ func main() {
 	r.Instrument(reg, tr)
 	start := time.Now()
 
+	interrupted := false
 	if *only == "" {
-		rep, err := r.RunAll(os.Stdout)
-		if err != nil {
+		rep, err := r.RunAllContext(ctx, os.Stdout)
+		switch {
+		case errors.Is(err, context.Canceled):
+			interrupted = true
+			fmt.Printf("\n== Interrupted: partial report (%d/%d steps) ==\n",
+				rep.Completed(), len(rep.Steps))
+			rep.WriteStepSummary(os.Stdout)
+		case err != nil:
 			fail(err)
 		}
-		if *csvDir != "" {
+		if *csvDir != "" && !interrupted {
 			if err := experiments.WriteCSV(*csvDir, rep); err != nil {
 				fail(err)
 			}
@@ -79,6 +95,11 @@ func main() {
 		}
 	} else {
 		for _, name := range strings.Split(*only, ",") {
+			if ctx.Err() != nil {
+				interrupted = true
+				fmt.Printf("\n== Interrupted: skipping remaining experiments ==\n")
+				break
+			}
 			var err error
 			fmt.Printf("\n== %s ==\n", name)
 			switch strings.TrimSpace(strings.ToLower(name)) {
@@ -118,7 +139,11 @@ func main() {
 		fmt.Println("\n== Stage trace ==")
 		tr.WriteTable(os.Stdout)
 	}
-	fmt.Fprintf(os.Stderr, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	verb := "completed"
+	if interrupted {
+		verb = "interrupted"
+	}
+	fmt.Fprintf(os.Stderr, "\n%s in %s\n", verb, time.Since(start).Round(time.Millisecond))
 }
 
 func fail(err error) {

@@ -151,6 +151,17 @@ func tallyRecords(sp *obs.Span, recs []logfmt.Record) {
 	sp.AddBytes(bytes)
 }
 
+// UseShortTermRecords injects recs as the short-term dataset in place
+// of synthetic generation — the hook the robust-ingest path uses to run
+// the §4 analyses over records tolerantly decoded from a (possibly
+// corrupt) log file. Call before the first experiment touches the
+// dataset.
+func (r *Runner) UseShortTermRecords(recs []logfmt.Record) { r.short = recs }
+
+// UsePatternRecords injects recs as the §5 pattern dataset; see
+// UseShortTermRecords.
+func (r *Runner) UsePatternRecords(recs []logfmt.Record) { r.pattern = recs }
+
 // PatternConfig returns the synth configuration of the pattern dataset.
 func (r *Runner) PatternConfig() synth.Config {
 	cfg := synth.LongTermConfig(r.cfg.Seed+1, 1)

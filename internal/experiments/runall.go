@@ -1,9 +1,47 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 )
+
+// StepState classifies how one RunAll step ended.
+type StepState uint8
+
+const (
+	// StepCompleted means the step ran to completion.
+	StepCompleted StepState = iota
+	// StepSkipped means the run was cancelled (or an earlier step
+	// failed) before the step started.
+	StepSkipped
+	// StepFailed means the step returned an error.
+	StepFailed
+)
+
+// String returns the lowercase name of the state.
+func (s StepState) String() string {
+	switch s {
+	case StepCompleted:
+		return "completed"
+	case StepSkipped:
+		return "skipped"
+	default:
+		return "failed"
+	}
+}
+
+// StepStatus records one RunAll step's outcome for the report, so a
+// cancelled or failed run still says exactly what it finished.
+type StepStatus struct {
+	// Name is the section title ("Figure 1", ...).
+	Name string
+	// State is how the step ended.
+	State StepState
+	// Wall is the step's wall time (zero for skipped steps).
+	Wall time.Duration
+}
 
 // Report holds every experiment's structured result.
 type Report struct {
@@ -18,13 +56,53 @@ type Report struct {
 	Anomaly      AnomalyResult
 	Regional     RegionalResult
 	Resilience   ResilienceResult
+
+	// Steps is the per-step outcome ledger, in paper order. On a
+	// cancelled or failed run it records which results above are
+	// populated.
+	Steps []StepStatus
+}
+
+// Completed returns how many steps finished.
+func (rep *Report) Completed() int {
+	n := 0
+	for _, st := range rep.Steps {
+		if st.State == StepCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteStepSummary prints one line per step with its outcome — the
+// partial-report footer of an interrupted run.
+func (rep *Report) WriteStepSummary(w io.Writer) {
+	for _, st := range rep.Steps {
+		switch st.State {
+		case StepCompleted:
+			fmt.Fprintf(w, "  %-44s %s (%s)\n", st.Name, st.State, st.Wall.Round(time.Millisecond))
+		default:
+			fmt.Fprintf(w, "  %-44s %s\n", st.Name, st.State)
+		}
+	}
 }
 
 // RunAll executes every experiment in paper order, writing the formatted
-// tables and figures to w. When the runner is instrumented (see
-// Instrument), each figure/table runs inside its own tracer span, so a
-// -trace run prints where the wall time went.
+// tables and figures to w. It is RunAllContext without cancellation.
 func (r *Runner) RunAll(w io.Writer) (*Report, error) {
+	return r.RunAllContext(context.Background(), w)
+}
+
+// RunAllContext executes every experiment in paper order, writing the
+// formatted tables and figures to w. When the runner is instrumented
+// (see Instrument), each figure/table runs inside its own tracer span,
+// so a -trace run prints where the wall time went.
+//
+// Cancelling ctx stops the run at the next step boundary: the returned
+// Report is still valid, with completed steps' results populated and
+// the rest marked skipped in Steps, and the error is ctx's error. A
+// step failure likewise returns the partial report alongside the error.
+func (r *Runner) RunAllContext(ctx context.Context, w io.Writer) (*Report, error) {
 	w = out(w)
 	var rep Report
 
@@ -83,14 +161,25 @@ func (r *Runner) RunAll(w io.Writer) (*Report, error) {
 		}},
 	}
 
-	for _, st := range steps {
+	rep.Steps = make([]StepStatus, len(steps))
+	for i, st := range steps {
+		rep.Steps[i] = StepStatus{Name: st.title, State: StepSkipped}
+	}
+	for i, st := range steps {
+		if err := ctx.Err(); err != nil {
+			return &rep, err
+		}
 		fmt.Fprintf(w, "\n== %s ==\n", st.title)
 		sp := r.span(st.errAs)
+		start := time.Now()
 		err := st.fn(w)
 		sp.End()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", st.errAs, err)
+			rep.Steps[i].State = StepFailed
+			return &rep, fmt.Errorf("%s: %w", st.errAs, err)
 		}
+		rep.Steps[i].State = StepCompleted
+		rep.Steps[i].Wall = time.Since(start)
 	}
 	return &rep, nil
 }

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/logfmt"
+)
+
+// FuzzTolerantReader checks that tolerant decoding of arbitrary bytes —
+// as a binary stream and as both text formats — never panics, never
+// loops, and keeps its accounting consistent with what it delivers.
+func FuzzTolerantReader(f *testing.F) {
+	recs := make([]logfmt.Record, 3)
+	base := logfmt.Record{Method: "GET", URL: "https://api.example.com/v1",
+		MIMEType: "application/json", Status: 200, Bytes: 512, Cache: logfmt.CacheHit}
+	for i := range recs {
+		recs[i] = base
+		recs[i].ClientID = uint64(i)
+	}
+	var bin bytes.Buffer
+	w := logfmt.NewBinaryWriter(&bin)
+	for i := range recs {
+		w.Write(&recs[i])
+	}
+	w.Close()
+	f.Add(bin.Bytes())
+	var tsv []byte
+	for i := range recs {
+		tsv = logfmt.AppendTSV(tsv, &recs[i])
+	}
+	f.Add(tsv)
+	f.Add([]byte("CDNJ1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x81}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range []func() logfmt.RecordReader{
+			func() logfmt.RecordReader { return logfmt.NewBinaryReader(bytes.NewReader(data)) },
+			func() logfmt.RecordReader {
+				rd, err := logfmt.NewReader(bytes.NewReader(data), logfmt.FormatTSV)
+				if err != nil {
+					return nil
+				}
+				return rd
+			},
+			func() logfmt.RecordReader {
+				rd, err := logfmt.NewReader(bytes.NewReader(data), logfmt.FormatJSONL)
+				if err != nil {
+					return nil
+				}
+				return rd
+			},
+		} {
+			rd := mk()
+			if rd == nil {
+				continue
+			}
+			tr := NewTolerantReader(rd, Options{MaxErrorRate: 0.9, MinRecords: 8})
+			var delivered int64
+			var rec logfmt.Record
+			var err error
+			for {
+				err = tr.Read(&rec)
+				if err != nil {
+					break
+				}
+				delivered++
+			}
+			st := tr.Stats()
+			if st.Records != delivered {
+				t.Fatalf("stats.Records = %d, delivered %d", st.Records, delivered)
+			}
+			if err != io.EOF && !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("tolerant read ended with unexpected error: %v", err)
+			}
+		}
+	})
+}

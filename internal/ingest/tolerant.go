@@ -1,0 +1,164 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/logfmt"
+)
+
+// ErrBudgetExceeded marks a stream whose corrupt-record fraction blew
+// the configured budget: the data is too damaged to trust, so the read
+// fails fast instead of silently analyzing a remnant.
+var ErrBudgetExceeded = errors.New("ingest: corrupt-record budget exceeded")
+
+// Options configures tolerant decoding.
+type Options struct {
+	// MaxErrorRate is the quarantine budget: once more than this
+	// fraction of decode attempts has been quarantined (after
+	// MinRecords attempts), reading fails with ErrBudgetExceeded.
+	// Default 0.05.
+	MaxErrorRate float64
+	// MinRecords is the grace period before the budget is enforced, so
+	// one bad record at the head of a stream cannot trip a percentage
+	// budget. Default 64.
+	MinRecords int64
+	// MaxResyncScan bounds how far a binary resynchronization scan may
+	// look for the next record boundary. Default 1 MiB.
+	MaxResyncScan int64
+	// DeadLetter receives quarantined spans; nil counts only.
+	DeadLetter *DeadLetter
+	// Metrics, when non-nil, receives per-record instrumentation.
+	Metrics *Instrumentation
+}
+
+func (o *Options) sanitize() {
+	if o.MaxErrorRate <= 0 {
+		o.MaxErrorRate = 0.05
+	}
+	if o.MinRecords <= 0 {
+		o.MinRecords = 64
+	}
+	if o.MaxResyncScan <= 0 {
+		o.MaxResyncScan = 1 << 20
+	}
+}
+
+// TolerantReader wraps a RecordReader (TSV, JSON Lines, or binary) and
+// keeps decoding across malformed records: each bad span is quarantined
+// to the dead letter with its byte offset, record index, and reason;
+// binary streams are resynchronized to the next plausible record
+// boundary; and a max-error-rate budget converts "too corrupt" into a
+// hard error. TolerantReader is itself a logfmt.RecordReader, so it
+// drops in anywhere a strict reader is used. Not safe for concurrent
+// use.
+type TolerantReader struct {
+	rd    logfmt.RecordReader
+	opts  Options
+	stats Stats
+}
+
+// NewTolerantReader wraps rd with the given options.
+func NewTolerantReader(rd logfmt.RecordReader, opts Options) *TolerantReader {
+	opts.sanitize()
+	return &TolerantReader{rd: rd, opts: opts}
+}
+
+// Stats returns the accounting so far.
+func (t *TolerantReader) Stats() Stats { return t.stats }
+
+// Read decodes the next good record into r, quarantining any bad spans
+// it steps over. It returns io.EOF at end of stream, ErrBudgetExceeded
+// (wrapped with position) when the stream is too corrupt, and
+// underlying I/O errors unwrapped.
+func (t *TolerantReader) Read(r *logfmt.Record) error {
+	for {
+		err := t.rd.Read(r)
+		if err == nil {
+			t.stats.Records++
+			if m := t.opts.Metrics; m != nil {
+				m.Records.Inc()
+			}
+			return nil
+		}
+		if err == io.EOF {
+			return io.EOF
+		}
+		de := logfmt.AsDecodeError(err)
+		if de == nil {
+			return err // real I/O failure; nothing to quarantine
+		}
+		t.stats.Quarantined++
+		if m := t.opts.Metrics; m != nil {
+			m.Quarantined.Inc()
+		}
+		if werr := t.opts.DeadLetter.Write(quarantineFor(de)); werr != nil {
+			return fmt.Errorf("ingest: writing dead letter: %w", werr)
+		}
+		if berr := t.checkBudget(de); berr != nil {
+			return berr
+		}
+		// After a binary decode error the stream position is undefined;
+		// scan forward to the next plausible record boundary. Text
+		// readers consume the bad line themselves.
+		if br, ok := t.rd.(*logfmt.BinaryReader); ok {
+			skipped, rerr := br.Resync(t.opts.MaxResyncScan)
+			t.stats.Resyncs++
+			t.stats.BytesSkipped += skipped
+			if m := t.opts.Metrics; m != nil {
+				m.Resyncs.Inc()
+				m.SkippedBytes.Add(skipped)
+			}
+			if rerr == io.EOF {
+				return io.EOF
+			}
+			if rerr != nil {
+				return fmt.Errorf("ingest: after record %d at byte %d: %w", de.Record, de.Offset, rerr)
+			}
+		}
+	}
+}
+
+// checkBudget fails the stream once the quarantine fraction exceeds the
+// budget, with the position of the error that tripped it.
+func (t *TolerantReader) checkBudget(de *logfmt.DecodeError) error {
+	total := t.stats.Records + t.stats.Quarantined
+	if total < t.opts.MinRecords {
+		return nil
+	}
+	if rate := t.stats.ErrorRate(); rate > t.opts.MaxErrorRate {
+		return fmt.Errorf("%w: %d of %d records quarantined (%.2f%% > %.2f%% budget), tripped at byte %d (record %d): %v",
+			ErrBudgetExceeded, t.stats.Quarantined, total,
+			rate*100, t.opts.MaxErrorRate*100, de.Offset, de.Record, de.Err)
+	}
+	return nil
+}
+
+// ForEach reads every good record, stopping at EOF or on fn's first
+// error.
+func (t *TolerantReader) ForEach(fn func(*logfmt.Record) error) error {
+	var rec logfmt.Record
+	for {
+		err := t.Read(&rec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// OpenFile opens path like logfmt.OpenFile but wraps the reader
+// tolerantly. The caller must close the returned io.Closer.
+func OpenFile(path string, opts Options) (*TolerantReader, io.Closer, error) {
+	rd, closer, err := logfmt.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewTolerantReader(rd, opts), closer, nil
+}

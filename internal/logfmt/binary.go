@@ -122,12 +122,18 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// maxBinaryRecord bounds one encoded record; larger length prefixes are
+// rejected as corrupt.
+const maxBinaryRecord = 1 << 24
+
 // BinaryReader streams records from the binary format. BinaryReader is
 // not safe for concurrent use.
 type BinaryReader struct {
 	br       *bufio.Reader
 	buf      []byte
 	prevNano int64
+	offset   int64
+	records  int64
 	started  bool
 }
 
@@ -144,45 +150,171 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 }
 
 // Read decodes the next record. It returns io.EOF at end of stream.
+// Corruption — a bad magic, an implausible length prefix, a truncated
+// frame, or a frame whose payload does not decode — is reported as a
+// *DecodeError carrying the byte offset and record index of the bad
+// span. After a DecodeError the stream position is undefined (the
+// length prefix itself may have been garbage); callers that want to
+// continue must call Resync first.
 func (rd *BinaryReader) Read(r *Record) error {
 	if !rd.started {
 		var magic [5]byte
-		if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
+		n, err := io.ReadFull(rd.br, magic[:])
+		rd.offset += int64(n)
+		if err != nil {
 			if err == io.EOF {
 				return io.EOF
 			}
+			if err == io.ErrUnexpectedEOF {
+				rd.started = true
+				return &DecodeError{Format: "binary", Offset: 0, Record: 0, Span: int64(n),
+					Err: fmt.Errorf("truncated binary magic: %w", err)}
+			}
 			return fmt.Errorf("logfmt: reading binary magic: %w", err)
 		}
-		if magic != binaryMagic {
-			return fmt.Errorf("logfmt: bad binary magic %q", magic[:])
-		}
 		rd.started = true
+		if magic != binaryMagic {
+			return &DecodeError{Format: "binary", Offset: 0, Record: 0, Span: int64(n),
+				Err: fmt.Errorf("bad binary magic %q", magic[:])}
+		}
 	}
-	size, err := binary.ReadUvarint(rd.br)
+	frameStart := rd.offset
+	idx := rd.records
+	size, err := rd.readUvarint()
 	if err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
-		return fmt.Errorf("logfmt: reading record length: %w", err)
+		rd.records++
+		return &DecodeError{Format: "binary", Offset: frameStart, Record: idx,
+			Span: rd.offset - frameStart, Err: fmt.Errorf("reading record length: %w", err)}
 	}
-	if size > 1<<24 {
-		return fmt.Errorf("logfmt: binary record of %d bytes exceeds limit", size)
+	rd.records++
+	if size == 0 || size > maxBinaryRecord {
+		return &DecodeError{Format: "binary", Offset: frameStart, Record: idx,
+			Span: rd.offset - frameStart, Err: fmt.Errorf("implausible record length %d", size)}
 	}
 	if cap(rd.buf) < int(size) {
 		rd.buf = make([]byte, size)
 	}
 	buf := rd.buf[:size]
-	if _, err := io.ReadFull(rd.br, buf); err != nil {
-		return fmt.Errorf("logfmt: reading binary record: %w", err)
+	n, err := io.ReadFull(rd.br, buf)
+	rd.offset += int64(n)
+	if err != nil {
+		return &DecodeError{Format: "binary", Offset: frameStart, Record: idx,
+			Span: rd.offset - frameStart, Err: fmt.Errorf("reading binary record: %w", err)}
 	}
-	return rd.decode(buf, r)
+	// Decode against a scratch timestamp and commit only on success, so
+	// a quarantined record cannot poison the delta chain for the records
+	// that follow it.
+	prev := rd.prevNano
+	if err := decodeRecord(buf, r, &prev); err != nil {
+		return &DecodeError{Format: "binary", Offset: frameStart, Record: idx,
+			Span: rd.offset - frameStart, Err: err}
+	}
+	rd.prevNano = prev
+	return nil
 }
 
-func (rd *BinaryReader) decode(buf []byte, r *Record) error {
+// readUvarint reads a length prefix, charging consumed bytes to the
+// reader offset. A clean EOF before the first byte is io.EOF; EOF
+// mid-varint is io.ErrUnexpectedEOF.
+func (rd *BinaryReader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := rd.br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return x, io.ErrUnexpectedEOF
+			}
+			return x, err
+		}
+		rd.offset++
+		if b < 0x80 {
+			if i > 9 || i == 9 && b > 1 {
+				return x, fmt.Errorf("length varint overflows uint64")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// Offset returns the number of bytes of the (decompressed) stream
+// consumed so far.
+func (rd *BinaryReader) Offset() int64 { return rd.offset }
+
+// Resync scans forward after a DecodeError for the next plausible
+// record boundary: a position where a sane length prefix is followed by
+// a payload that fully decodes (dictionary indices in range, strings in
+// bounds, valid cache status, no trailing bytes). It returns the number
+// of bytes skipped. io.EOF means the stream ended with no further
+// boundary; the scan gives up with an error after maxScan bytes
+// (maxScan <= 0 means 1 MiB).
+//
+// Validation needs the whole candidate frame inside the read-ahead
+// buffer, so a genuine record larger than the buffer (64 KiB) may be
+// skipped; quarantine accounting absorbs the loss.
+func (rd *BinaryReader) Resync(maxScan int64) (int64, error) {
+	if maxScan <= 0 {
+		maxScan = 1 << 20
+	}
+	var skipped int64
+	for skipped < maxScan {
+		window, perr := rd.br.Peek(rd.br.Size())
+		if len(window) == 0 {
+			return skipped, io.EOF
+		}
+		for i := range window {
+			if skipped+int64(i) >= maxScan {
+				break
+			}
+			if plausibleFrame(window[i:], rd.prevNano) {
+				rd.discard(i)
+				return skipped + int64(i), nil
+			}
+		}
+		n := len(window)
+		if int64(n) > maxScan-skipped {
+			n = int(maxScan - skipped)
+		}
+		rd.discard(n)
+		skipped += int64(n)
+		if perr != nil { // stream exhausted, nothing matched
+			return skipped, io.EOF
+		}
+	}
+	return skipped, fmt.Errorf("logfmt: resync: no record boundary within %d bytes", maxScan)
+}
+
+func (rd *BinaryReader) discard(n int) {
+	d, _ := rd.br.Discard(n)
+	rd.offset += int64(d)
+}
+
+// plausibleFrame reports whether b starts with a complete, decodable
+// record frame.
+func plausibleFrame(b []byte, prevNano int64) bool {
+	size, n := binary.Uvarint(b)
+	if n <= 0 || size == 0 || size > maxBinaryRecord {
+		return false
+	}
+	if uint64(len(b)-n) < size {
+		return false // frame extends past the window; cannot validate
+	}
+	var rec Record
+	prev := prevNano
+	return decodeRecord(b[n:n+int(size)], &rec, &prev) == nil
+}
+
+// decodeRecord decodes one frame payload into r. The timestamp delta is
+// applied to *prevNano only as a scratch value; callers commit it on
+// success. A payload with trailing bytes is corrupt.
+func decodeRecord(buf []byte, r *Record, prevNano *int64) error {
 	d := decoder{buf: buf}
 	delta := d.varint()
-	rd.prevNano += delta
-	r.Time = time.Unix(0, rd.prevNano).UTC()
 	r.ClientID = d.uvarint()
 	r.Method = d.dictString(methodTable)
 	r.URL = d.str()
@@ -194,9 +326,14 @@ func (rd *BinaryReader) decode(buf []byte, r *Record) error {
 	if d.err != nil {
 		return fmt.Errorf("logfmt: corrupt binary record: %w", d.err)
 	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("logfmt: corrupt binary record: %d trailing bytes", len(d.buf))
+	}
 	if cacheByte > byte(CacheMiss) {
 		return fmt.Errorf("logfmt: corrupt binary record: cache status %d", cacheByte)
 	}
+	*prevNano += delta
+	r.Time = time.Unix(0, *prevNano).UTC()
 	r.Cache = CacheStatus(cacheByte)
 	return nil
 }

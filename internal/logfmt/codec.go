@@ -191,6 +191,19 @@ const (
 	FormatJSONL
 )
 
+// Name returns the short wire name of the format, as used in
+// DecodeError.Format and quarantine entries.
+func (f Format) Name() string {
+	switch f {
+	case FormatTSV:
+		return "tsv"
+	case FormatJSONL:
+		return "jsonl"
+	default:
+		return fmt.Sprintf("format(%d)", f)
+	}
+}
+
 // Writer streams records to an underlying io.Writer in a chosen format,
 // buffered. Close flushes; it closes the underlying writer only if it is
 // an io.Closer the Writer created itself (gzip layer). Writer is not safe
@@ -254,9 +267,11 @@ func (w *Writer) Close() error {
 // Reader streams records from an underlying io.Reader, transparently
 // detecting gzip. Reader is not safe for concurrent use.
 type Reader struct {
-	br     *bufio.Reader
-	format Format
-	line   int64
+	br      *bufio.Reader
+	format  Format
+	line    int64
+	offset  int64
+	records int64
 }
 
 // NewReader returns a Reader decoding the given format from r,
@@ -275,10 +290,16 @@ func NewReader(r io.Reader, format Format) (*Reader, error) {
 }
 
 // Read decodes the next record into r. It returns io.EOF at end of
-// stream. Blank lines are skipped.
+// stream. Blank lines are skipped. Malformed lines are reported as a
+// *DecodeError carrying the byte offset and record index of the bad
+// span; the line is already consumed, so the next Read resumes at the
+// following line — callers that tolerate corruption (ingest.TolerantReader)
+// quarantine the span and keep reading.
 func (rd *Reader) Read(r *Record) error {
 	for {
+		start := rd.offset
 		line, err := rd.br.ReadString('\n')
+		rd.offset += int64(len(line))
 		if len(line) == 0 && err != nil {
 			if err == io.EOF {
 				return io.EOF
@@ -286,6 +307,7 @@ func (rd *Reader) Read(r *Record) error {
 			return err
 		}
 		rd.line++
+		span := int64(len(line))
 		line = strings.TrimRight(line, "\n")
 		if line == "" {
 			if err == io.EOF {
@@ -293,6 +315,8 @@ func (rd *Reader) Read(r *Record) error {
 			}
 			continue
 		}
+		idx := rd.records
+		rd.records++
 		var perr error
 		switch rd.format {
 		case FormatTSV:
@@ -303,11 +327,21 @@ func (rd *Reader) Read(r *Record) error {
 			return fmt.Errorf("logfmt: unknown format %d", rd.format)
 		}
 		if perr != nil {
-			return fmt.Errorf("logfmt: line %d: %w", rd.line, perr)
+			return &DecodeError{
+				Format: rd.format.Name(),
+				Offset: start,
+				Record: idx,
+				Span:   span,
+				Err:    fmt.Errorf("line %d: %w", rd.line, perr),
+			}
 		}
 		return nil
 	}
 }
+
+// Offset returns the number of bytes of the (decompressed) stream
+// consumed so far.
+func (rd *Reader) Offset() int64 { return rd.offset }
 
 // ForEach reads every record in the stream and calls fn. It stops at EOF,
 // or earlier if fn returns a non-nil error, which is then returned.
@@ -354,7 +388,7 @@ func OpenFile(path string) (RecordReader, io.Closer, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if isBinaryPath(path) {
+	if IsBinaryPath(path) {
 		return NewBinaryReader(f), f, nil
 	}
 	rd, err := NewReader(f, FormatForPath(path))
@@ -374,7 +408,7 @@ func CreateFile(path string) (RecordWriter, io.Closer, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if isBinaryPath(path) {
+	if IsBinaryPath(path) {
 		if strings.HasSuffix(path, ".gz") {
 			return NewGzipBinaryWriter(f), f, nil
 		}
@@ -387,7 +421,8 @@ func CreateFile(path string) (RecordWriter, io.Closer, error) {
 	return NewWriter(f, format), f, nil
 }
 
-func isBinaryPath(path string) bool {
+// IsBinaryPath reports whether path names a binary-format (.cdnb) log.
+func IsBinaryPath(path string) bool {
 	return strings.HasSuffix(strings.TrimSuffix(path, ".gz"), ".cdnb")
 }
 

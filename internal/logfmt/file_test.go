@@ -80,8 +80,8 @@ func TestIsBinaryPath(t *testing.T) {
 		"cdnb.tsv":  false,
 	}
 	for path, want := range cases {
-		if got := isBinaryPath(path); got != want {
-			t.Errorf("isBinaryPath(%q) = %v", path, got)
+		if got := IsBinaryPath(path); got != want {
+			t.Errorf("IsBinaryPath(%q) = %v", path, got)
 		}
 	}
 }

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func corruptAll(t *testing.T, cr *CorruptingReader) []byte {
+	t.Helper()
+	out, err := io.ReadAll(cr)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return out
+}
+
+func TestCorruptingReaderDeterministic(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 4096)
+	mk := func() *CorruptingReader {
+		return &CorruptingReader{R: bytes.NewReader(src), Seed: 11,
+			BitFlipRate: 0.01, GarbageRate: 0.001, GarbageLen: 8}
+	}
+	a, b := mk(), mk()
+	outA, outB := corruptAll(t, a), corruptAll(t, b)
+	if !bytes.Equal(outA, outB) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if a.Faults() == 0 || a.Faults() != b.Faults() {
+		t.Errorf("fault counts diverge: %d vs %d", a.Faults(), b.Faults())
+	}
+	if bytes.Equal(outA, src) {
+		t.Error("no corruption applied")
+	}
+}
+
+func TestCorruptingReaderBitFlipsOnly(t *testing.T) {
+	src := bytes.Repeat([]byte{0x00}, 10000)
+	cr := &CorruptingReader{R: bytes.NewReader(src), Seed: 3, BitFlipRate: 0.01}
+	out := corruptAll(t, cr)
+	if len(out) != len(src) {
+		t.Fatalf("bit flips changed length: %d -> %d", len(src), len(out))
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != src[i] {
+			diff++
+		}
+	}
+	if int64(diff) != cr.Faults() {
+		t.Errorf("%d bytes differ, %d faults reported", diff, cr.Faults())
+	}
+	if diff < 50 || diff > 200 { // ~100 expected at 1%
+		t.Errorf("flipped %d bytes of 10000 at rate 0.01", diff)
+	}
+}
+
+func TestCorruptingReaderGarbageGrowsStream(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAA}, 10000)
+	cr := &CorruptingReader{R: bytes.NewReader(src), Seed: 8, GarbageRate: 0.005, GarbageLen: 4}
+	out := corruptAll(t, cr)
+	if len(out) <= len(src) {
+		t.Errorf("garbage insertion should grow the stream: %d -> %d", len(src), len(out))
+	}
+	if cr.Faults() == 0 {
+		t.Error("no garbage runs recorded")
+	}
+}
+
+func TestCorruptingReaderTruncation(t *testing.T) {
+	src := bytes.Repeat([]byte{0x55}, 1000)
+	cr := &CorruptingReader{R: bytes.NewReader(src), Seed: 1, TruncateAt: 321}
+	out := corruptAll(t, cr)
+	if len(out) != 321 {
+		t.Errorf("truncated length %d, want 321", len(out))
+	}
+	if !bytes.Equal(out, src[:321]) {
+		t.Error("truncation corrupted the retained prefix")
+	}
+}
+
+func TestCorruptingReaderSkipBytes(t *testing.T) {
+	src := bytes.Repeat([]byte{0x00}, 8192)
+	cr := &CorruptingReader{R: bytes.NewReader(src), Seed: 4,
+		BitFlipRate: 0.05, GarbageRate: 0.01, SkipBytes: 512}
+	out := corruptAll(t, cr)
+	if !bytes.Equal(out[:512], src[:512]) {
+		t.Error("protected prefix was corrupted")
+	}
+}
+
+func TestCorruptingReaderSmallReads(t *testing.T) {
+	src := bytes.Repeat([]byte("xyz"), 1000)
+	mk := func(bufSize int) []byte {
+		cr := &CorruptingReader{R: bytes.NewReader(src), Seed: 21,
+			GarbageRate: 0.01, GarbageLen: 32}
+		var out []byte
+		buf := make([]byte, bufSize)
+		for {
+			n, err := cr.Read(buf)
+			out = append(out, buf[:n]...)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The corrupted stream must not depend on the caller's buffer size;
+	// garbage spilling past a small buffer is delivered on the next
+	// Read.
+	big, small := mk(4096), mk(7)
+	if !bytes.Equal(big, small) {
+		t.Errorf("buffer size changed corruption: %d vs %d bytes", len(big), len(small))
+	}
+}
