@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 5s
+BENCHOUT ?= BENCH_1.json
+BENCHCOUNT ?= 3
 
-.PHONY: ci vet build test race fuzz
+.PHONY: ci vet build test race fuzz bench
 
 # ci is the tier-1 gate: everything below, in order.
 ci: vet build test race fuzz
@@ -16,10 +18,19 @@ test:
 	$(GO) test ./...
 
 # race covers the concurrent hot paths: the metrics substrate, the
-# net/http edge that reports into it, the retry/breaker machinery, and
-# the bounded ingest pipeline.
+# net/http edge that reports into it, the retry/breaker machinery, the
+# bounded ingest pipeline, the sharded generator, and the parallel
+# experiment scheduler.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments
+
+# bench regenerates the persisted benchmark baseline (BENCH_1.json by
+# default; override with BENCHOUT=...). It runs every benchmark in the
+# perf-critical packages -benchmem -count $(BENCHCOUNT) and derives the
+# sequential-vs-parallel RunAll speedup. Regenerate on the machine you
+# care about — the file records GOMAXPROCS.
+bench:
+	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT)
 
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.

@@ -1,0 +1,205 @@
+// Command benchreport runs the repo's benchmark suite and writes a
+// machine-readable JSON baseline (BENCH_*.json) so perf regressions
+// show up as diffs rather than anecdotes.
+//
+// It shells out to `go test -bench` over the performance-critical
+// packages — synth generation, the experiment scheduler, n-gram
+// prediction, the DSP kernels, the log codecs, and the ingest
+// pipeline — parses the standard benchmark output lines, and emits one
+// JSON document with ns/op, B/op, and allocs/op per benchmark plus the
+// derived sequential-vs-parallel RunAll speedup.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport -count 3 -out BENCH_1.json
+//	go run ./cmd/benchreport -benchtime 0.5s -bench 'RunAll' -out -
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// packages are the benchmark targets, in report order.
+var packages = []string{
+	"./internal/synth",
+	"./internal/experiments",
+	"./internal/ngram",
+	"./internal/dsp",
+	"./internal/logfmt",
+	"./internal/ingest",
+}
+
+// Benchmark is one parsed `go test -bench` result line. Repeated
+// -count runs of the same benchmark appear as separate entries.
+type Benchmark struct {
+	Package string  `json:"package"`
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+	BPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Allocs  float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON document benchreport emits.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Count      int         `json:"count"`
+	BenchTime  string      `json:"benchtime"`
+	Generated  string      `json:"generated"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+
+	// Derived RunAll numbers (means over the -count runs); the speedup
+	// is the headline the scheduler work is judged by. On a single-core
+	// runner it sits near 1.0 — regenerate on a multi-core machine.
+	RunAllSequentialNs float64 `json:"runall_sequential_ns,omitempty"`
+	RunAllParallelNs   float64 `json:"runall_parallel_ns,omitempty"`
+	RunAllSpeedup      float64 `json:"runall_speedup,omitempty"`
+}
+
+func main() {
+	var (
+		count     = flag.Int("count", 3, "benchmark repetitions (go test -count)")
+		benchtime = flag.String("benchtime", "", "per-benchmark budget (go test -benchtime), e.g. 0.5s or 10x")
+		bench     = flag.String("bench", ".", "benchmark name filter (go test -bench)")
+		out       = flag.String("out", "BENCH_1.json", "output file, or - for stdout")
+	)
+	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintln(os.Stderr, "benchreport: -count must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := Report{
+		Schema:     "repro/benchreport/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
+		BenchTime:  *benchtime,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, pkg := range packages {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count)}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, pkg)
+		fmt.Fprintf(os.Stderr, "benchreport: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n%s", pkg, err, buf.String())
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, parseBench(pkg, buf.String())...)
+	}
+
+	seq := meanNs(rep.Benchmarks, "BenchmarkRunAllSequential")
+	par := meanNs(rep.Benchmarks, "BenchmarkRunAllParallel")
+	rep.RunAllSequentialNs = seq
+	rep.RunAllParallelNs = par
+	if seq > 0 && par > 0 {
+		rep.RunAllSpeedup = seq / par
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s (runall speedup %.2fx at GOMAXPROCS=%d)\n",
+		len(rep.Benchmarks), *out, rep.RunAllSpeedup, rep.GOMAXPROCS)
+}
+
+// parseBench extracts Benchmark entries from `go test -bench` output.
+// A result line looks like:
+//
+//	BenchmarkGenerate-8   	     100	  11963 ns/op	 2096 B/op	  4 allocs/op
+func parseBench(pkg, out string) []Benchmark {
+	var res []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: trimProcSuffix(fields[0]), Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.Allocs = v
+			}
+		}
+		if b.NsPerOp > 0 {
+			res = append(res, b)
+		}
+	}
+	return res
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines from different machines line up.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// meanNs averages ns/op over every entry named name.
+func meanNs(bs []Benchmark, name string) float64 {
+	var sum float64
+	var n int
+	for _, b := range bs {
+		if b.Name == name {
+			sum += b.NsPerOp
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -8,6 +8,8 @@
 //	jsonchar -i logs.tsv.gz
 //	jsonchar -i logs.cdnb -max-error-rate 0.1 -dead-letter bad.jsonl
 //	jsonchar -synth -scale 0.002
+//	jsonchar -synth -shards 8         # shard generation across 8 goroutines
+//	jsonchar -i logs.tsv.gz -j 4      # cap text-format decode workers
 //	jsonchar -synth -trace -metrics-addr :9090
 //
 // File input goes through the tolerant ingest path: malformed records
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,6 +48,8 @@ func main() {
 		useSynth    = flag.Bool("synth", false, "characterize a freshly generated short-term dataset")
 		scale       = flag.Float64("scale", 0.002, "scale for -synth")
 		seed        = flag.Uint64("seed", 42, "seed for -synth")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "decode workers for file ingest of the text formats")
+		shards      = flag.Int("shards", 1, "generation shards for -synth: 1 reproduces the historical stream; N > 1 generates on N goroutines (deterministic per seed+shards)")
 		topApps     = flag.Int("top-apps", 10, "how many applications to list")
 		maxErrRate  = flag.Float64("max-error-rate", 0.05, "abort file ingest when more than this fraction of records is corrupt")
 		deadLetter  = flag.String("dead-letter", "", "append quarantined record spans to this JSONL file")
@@ -52,6 +57,14 @@ func main() {
 		trace       = flag.Bool("trace", false, "print a per-stage span table after the run")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "jsonchar: -j must be >= 1")
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "jsonchar: -shards must be >= 1")
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancels ingest between records; the report over the
 	// records read so far still prints and the process exits 0.
@@ -78,6 +91,7 @@ func main() {
 	switch {
 	case *useSynth:
 		cfg := synth.ShortTermConfig(*seed, *scale)
+		cfg.Shards = *shards
 		cfg.Obs = reg
 		src = core.SynthSource(cfg)
 	case *in != "":
@@ -96,7 +110,7 @@ func main() {
 			defer opts.DeadLetter.Flush()
 		}
 		fileSrc = &ingest.FileSource{Path: *in, Ctx: ctx,
-			Config: ingest.PipelineConfig{Options: opts}}
+			Config: ingest.PipelineConfig{Workers: *jobs, Options: opts}}
 		src = fileSrc
 	default:
 		fmt.Fprintln(os.Stderr, "jsonchar: need -i FILE or -synth")

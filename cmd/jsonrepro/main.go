@@ -6,6 +6,8 @@
 //	jsonrepro                         # laptop-scale defaults
 //	jsonrepro -scale 0.01 -x 100      # bigger datasets, paper's x
 //	jsonrepro -only fig5,table3
+//	jsonrepro -j 1                    # force the sequential scheduler
+//	jsonrepro -shards 8               # shard dataset generation 8 ways
 //	jsonrepro -trace                  # per-stage span table after the run
 //	jsonrepro -metrics-addr :9090     # scrape /metrics while it runs
 package main
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -35,12 +38,22 @@ func main() {
 		bin         = flag.Duration("bin", 2*time.Second, "periodicity sampling interval")
 		faultRate   = flag.Float64("fault-rate", 0.05, "steady-state origin error rate of the resilience experiment")
 		faultSeed   = flag.Uint64("fault-seed", 0, "seed for fault injection and backoff jitter (0 derives it from -seed)")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "RunAll step parallelism: 1 runs the exhibits sequentially; N > 1 runs independent steps on N workers (output stays byte-identical)")
+		shards      = flag.Int("shards", 1, "synth generation shards: 1 reproduces the historical streams; N > 1 generates on N goroutines (deterministic per seed+shards, different stream)")
 		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional,resilience")
 		csvDir      = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "jsonrepro: -j must be >= 1")
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "jsonrepro: -shards must be >= 1")
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancels the run at the next step boundary; the
 	// partial report still prints and the process exits 0.
@@ -70,6 +83,8 @@ func main() {
 		SampleBin:     *bin,
 		FaultRate:     *faultRate,
 		FaultSeed:     *faultSeed,
+		Jobs:          *jobs,
+		Shards:        *shards,
 	}
 	r := experiments.NewRunner(cfg)
 	r.Instrument(reg, tr)

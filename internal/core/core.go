@@ -58,11 +58,27 @@ func (s SynthSource) Each(fn func(*logfmt.Record) error) error {
 	return synth.Generate(synth.Config(s), fn)
 }
 
+// SizeHinter is implemented by sources that can estimate their record
+// count up front; Collect uses it to allocate the result slice once
+// instead of growing it through the append doubling schedule.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// SizeHint estimates the record count (the generator hits the target
+// within ~10%, so reserve a little headroom).
+func (s SynthSource) SizeHint() int { return s.TargetRequests + s.TargetRequests/8 }
+
 // Collect materializes a source into memory. Analyses that need
 // multiple passes (prefetch comparison, train/test workflows) collect
 // once and reuse the slice.
 func Collect(src Source) ([]logfmt.Record, error) {
 	var out []logfmt.Record
+	if h, ok := src.(SizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			out = make([]logfmt.Record, 0, n)
+		}
+	}
 	err := src.Each(func(r *logfmt.Record) error {
 		out = append(out, *r)
 		return nil

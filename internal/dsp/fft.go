@@ -166,6 +166,31 @@ func Periodogram(x []float64) []float64 {
 	return p
 }
 
+// PeriodogramDirect computes the same power spectral density as
+// Periodogram by evaluating the DFT sums directly in O(n^2); retained
+// only to cross-validate the FFT path (see TestPeriodogramMatchesDirect)
+// and for the ablation benchmarks. All production callers use
+// Periodogram.
+func PeriodogramDirect(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	p := make([]float64, half)
+	for k := 0; k < half; k++ {
+		var re, im float64
+		for t, v := range x {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s, c := math.Sincos(ang)
+			re += v * c
+			im += v * s
+		}
+		p[k] = (re*re + im*im) / float64(n)
+	}
+	return p
+}
+
 // Autocorrelation returns the biased sample autocorrelation of x at lags
 // 0..len(x)-1, normalized so lag 0 equals 1 (unless x is constant, in
 // which case all lags are 0). Computed in O(n log n) via the

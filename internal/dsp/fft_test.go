@@ -191,6 +191,32 @@ func TestAutocorrelationMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestPeriodogramMatchesDirect pins the FFT-based power spectrum to the
+// O(n^2) DFT evaluation, including non-power-of-two lengths that
+// exercise the Bluestein path.
+func TestPeriodogramMatchesDirect(t *testing.T) {
+	r := stats.NewRNG(32)
+	for _, n := range []int{5, 17, 64, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		fast := Periodogram(x)
+		slow := PeriodogramDirect(x)
+		if len(fast) != len(slow) {
+			t.Fatalf("n=%d: lengths differ, fft %d vs direct %d", n, len(fast), len(slow))
+		}
+		for k := range fast {
+			if math.Abs(fast[k]-slow[k]) > 1e-9 {
+				t.Errorf("n=%d k=%d: fft %v vs direct %v", n, k, fast[k], slow[k])
+			}
+		}
+	}
+	if PeriodogramDirect(nil) != nil {
+		t.Error("empty signal should yield nil")
+	}
+}
+
 func TestValidateSignal(t *testing.T) {
 	if err := validateSignal(nil); err == nil {
 		t.Error("empty signal accepted")

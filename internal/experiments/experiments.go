@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +46,19 @@ type Config struct {
 	// FaultSeed seeds fault injection and backoff jitter; 0 derives it
 	// from Seed.
 	FaultSeed uint64
+	// Jobs is the RunAll step parallelism: 1 (or 0, the default) runs
+	// the figure/table steps strictly in paper order on one goroutine;
+	// N > 1 generates the shared datasets up front and then runs
+	// independent steps concurrently on N workers, buffering each step's
+	// text and flushing in paper order so the report is byte-identical
+	// to the sequential run.
+	Jobs int
+	// Shards is the synth generation shard count handed to the dataset
+	// generators (see synth.Config.Shards). 1 (or 0) keeps the
+	// single-goroutine generator and the historical streams; N > 1 is
+	// faster on multi-core machines but yields a different (still fully
+	// deterministic) dataset per (Seed, Shards).
+	Shards int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -81,18 +95,31 @@ func (c *Config) sanitize() {
 	if c.FaultSeed == 0 {
 		c.FaultSeed = c.Seed + 2
 	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 }
 
 // Runner executes experiments, generating each dataset at most once.
+// The dataset memos are mutex-guarded so the parallel scheduler (and
+// any caller running individual experiments from several goroutines)
+// generates each one exactly once.
 type Runner struct {
 	cfg Config
 
 	obsReg *obs.Registry
 	trace  *obs.Trace
 
+	shortMu sync.Mutex
 	short   []logfmt.Record
-	pattern []logfmt.Record
 
+	patternMu sync.Mutex
+	pattern   []logfmt.Record
+
+	perMu          sync.Mutex
 	periodicityRes *PeriodicityResult
 }
 
@@ -122,8 +149,11 @@ func (r *Runner) span(name string) *obs.Span { return r.trace.Start(name) }
 // ShortTermRecords returns (generating on first use) the scaled
 // short-term dataset used by the §4 characterization experiments.
 func (r *Runner) ShortTermRecords() ([]logfmt.Record, error) {
+	r.shortMu.Lock()
+	defer r.shortMu.Unlock()
 	if r.short == nil {
 		cfg := synth.ShortTermConfig(r.cfg.Seed, r.cfg.Scale)
+		cfg.Shards = r.cfg.Shards
 		cfg.Obs = r.obsReg
 		sp := r.span("synth short-term dataset")
 		recs, err := core.Collect(core.SynthSource(cfg))
@@ -156,11 +186,19 @@ func tallyRecords(sp *obs.Span, recs []logfmt.Record) {
 // the §4 analyses over records tolerantly decoded from a (possibly
 // corrupt) log file. Call before the first experiment touches the
 // dataset.
-func (r *Runner) UseShortTermRecords(recs []logfmt.Record) { r.short = recs }
+func (r *Runner) UseShortTermRecords(recs []logfmt.Record) {
+	r.shortMu.Lock()
+	r.short = recs
+	r.shortMu.Unlock()
+}
 
 // UsePatternRecords injects recs as the §5 pattern dataset; see
 // UseShortTermRecords.
-func (r *Runner) UsePatternRecords(recs []logfmt.Record) { r.pattern = recs }
+func (r *Runner) UsePatternRecords(recs []logfmt.Record) {
+	r.patternMu.Lock()
+	r.pattern = recs
+	r.patternMu.Unlock()
+}
 
 // PatternConfig returns the synth configuration of the pattern dataset.
 func (r *Runner) PatternConfig() synth.Config {
@@ -168,6 +206,7 @@ func (r *Runner) PatternConfig() synth.Config {
 	cfg.Duration = r.cfg.PatternWindow
 	cfg.TargetRequests = r.cfg.PatternTarget
 	cfg.Domains = 40
+	cfg.Shards = r.cfg.Shards
 	cfg.Obs = r.obsReg
 	return cfg
 }
@@ -175,6 +214,8 @@ func (r *Runner) PatternConfig() synth.Config {
 // PatternRecords returns (generating on first use) the pattern dataset
 // standing in for the paper's long-term dataset in the §5 analyses.
 func (r *Runner) PatternRecords() ([]logfmt.Record, error) {
+	r.patternMu.Lock()
+	defer r.patternMu.Unlock()
 	if r.pattern == nil {
 		sp := r.span("synth pattern dataset")
 		recs, err := core.Collect(core.SynthSource(r.PatternConfig()))

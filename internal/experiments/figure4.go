@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/domaincat"
 	"repro/internal/stats"
@@ -55,7 +56,16 @@ func (r *Runner) Figure4(w io.Writer) (Figure4Result, error) {
 		}
 		e[1]++
 	}
-	for host, e := range perDomain {
+	// Accumulate per-category shares in sorted host order: float addition
+	// is order-sensitive in the last bits, and map iteration would make
+	// the means differ from run to run.
+	hosts := make([]string, 0, len(perDomain))
+	for host := range perDomain {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		e := perDomain[host]
 		cat := catalog.Lookup(host).String()
 		s := catShares[cat]
 		if s == nil {

@@ -33,6 +33,8 @@ type PeriodicityResult struct {
 
 // periodicity runs the §5.1 pipeline at most once per runner.
 func (r *Runner) periodicity() (*PeriodicityResult, error) {
+	r.perMu.Lock()
+	defer r.perMu.Unlock()
 	if r.periodicityRes != nil {
 		return r.periodicityRes, nil
 	}

@@ -39,7 +39,8 @@ type StepStatus struct {
 	Name string
 	// State is how the step ended.
 	State StepState
-	// Wall is the step's wall time (zero for skipped steps).
+	// Wall is the step's wall time, recorded for completed and failed
+	// steps alike (zero for skipped steps, which never started).
 	Wall time.Duration
 }
 
@@ -75,14 +76,15 @@ func (rep *Report) Completed() int {
 }
 
 // WriteStepSummary prints one line per step with its outcome — the
-// partial-report footer of an interrupted run.
+// partial-report footer of an interrupted run. Completed and failed
+// steps include their wall time; skipped steps never started.
 func (rep *Report) WriteStepSummary(w io.Writer) {
 	for _, st := range rep.Steps {
 		switch st.State {
-		case StepCompleted:
-			fmt.Fprintf(w, "  %-44s %s (%s)\n", st.Name, st.State, st.Wall.Round(time.Millisecond))
-		default:
+		case StepSkipped:
 			fmt.Fprintf(w, "  %-44s %s\n", st.Name, st.State)
+		default:
+			fmt.Fprintf(w, "  %-44s %s (%s)\n", st.Name, st.State, st.Wall.Round(time.Millisecond))
 		}
 	}
 }
@@ -93,10 +95,99 @@ func (r *Runner) RunAll(w io.Writer) (*Report, error) {
 	return r.RunAllContext(context.Background(), w)
 }
 
+// stepNeed is a bitmask of the shared resources a RunAll step reads.
+// The parallel scheduler materializes the union of the selected steps'
+// needs up front, so the steps themselves — which all draw on local
+// RNGs and never mutate shared state — can run in any order, on any
+// number of goroutines, and still compute exactly the sequential
+// results.
+type stepNeed uint8
+
+const (
+	// needShort is the §4 short-term dataset (ShortTermRecords).
+	needShort stepNeed = 1 << iota
+	// needPattern is the §5 pattern dataset (PatternRecords).
+	needPattern
+	// needPeriodicity is the memoized §5.1 periodicity analysis, which
+	// itself consumes the pattern dataset.
+	needPeriodicity
+)
+
+// stepSpec declares one RunAll step: its section heading, its
+// error-wrapping label (also the tracer span name), the shared
+// resources it reads, and the closure that runs it.
+type stepSpec struct {
+	title string // section heading and span name
+	errAs string // error-wrapping label
+	needs stepNeed
+	fn    func(io.Writer) error
+}
+
+// stepSpecs returns the steps in paper order, writing results into rep.
+// Steps that generate their own inputs (Figure 1's arrival sketch, the
+// regional and resilience simulations) declare no needs.
+func (r *Runner) stepSpecs(rep *Report) []stepSpec {
+	return []stepSpec{
+		{"Figure 1", "figure 1", 0, func(w io.Writer) (err error) {
+			rep.Figure1, err = r.Figure1(w)
+			return
+		}},
+		{"Table 2", "table 2", needShort | needPattern, func(w io.Writer) (err error) {
+			rep.Table2, err = r.Table2(w)
+			return
+		}},
+		{"Figure 3 and §4 request/response types", "figure 3", needShort, func(w io.Writer) (err error) {
+			rep.Figure3, err = r.Figure3(w)
+			return
+		}},
+		{"Figure 4 and §4 cacheability", "figure 4", needShort, func(w io.Writer) (err error) {
+			rep.Figure4, err = r.Figure4(w)
+			return
+		}},
+		{"Figure 5 and §5.1 periodicity", "figure 5", needPattern | needPeriodicity, func(w io.Writer) (err error) {
+			rep.Periods, err = r.Figure5(w)
+			return
+		}},
+		{"Figure 6", "figure 6", needPattern | needPeriodicity, func(w io.Writer) (err error) {
+			_, err = r.Figure6(w)
+			return
+		}},
+		{"Table 3 and §5.2 prediction", "table 3", needPattern, func(w io.Writer) (err error) {
+			rep.Table3, err = r.Table3(w)
+			return
+		}},
+		{"Prefetch simulation (§5.2 implication)", "prefetch", needPattern, func(w io.Writer) (err error) {
+			rep.Prefetch, err = r.Prefetch(w)
+			return
+		}},
+		{"Deprioritization (§7 implication)", "deprioritize", needPattern | needPeriodicity, func(w io.Writer) (err error) {
+			rep.Deprioritize, err = r.Deprioritize(w)
+			return
+		}},
+		{"Anomaly detection (§5 applications)", "anomaly", needPattern, func(w io.Writer) (err error) {
+			rep.Anomaly, err = r.Anomaly(w)
+			return
+		}},
+		{"Regional vantages (§7 limitation)", "regional", 0, func(w io.Writer) (err error) {
+			rep.Regional, err = r.Regional(w)
+			return
+		}},
+		{"Resilience under origin faults (robustness)", "resilience", 0, func(w io.Writer) (err error) {
+			rep.Resilience, err = r.Resilience(w)
+			return
+		}},
+	}
+}
+
 // RunAllContext executes every experiment in paper order, writing the
 // formatted tables and figures to w. When the runner is instrumented
 // (see Instrument), each figure/table runs inside its own tracer span,
 // so a -trace run prints where the wall time went.
+//
+// With Config.Jobs > 1 the independent steps run concurrently on a
+// bounded worker pool (see sched.go); each step's text is buffered and
+// flushed in paper order, so the report bytes are identical to the
+// sequential run.
 //
 // Cancelling ctx stops the run at the next step boundary: the returned
 // Report is still valid, with completed steps' results populated and
@@ -105,66 +196,17 @@ func (r *Runner) RunAll(w io.Writer) (*Report, error) {
 func (r *Runner) RunAllContext(ctx context.Context, w io.Writer) (*Report, error) {
 	w = out(w)
 	var rep Report
-
-	steps := []struct {
-		title string // section heading and span name
-		errAs string // error-wrapping label
-		fn    func(io.Writer) error
-	}{
-		{"Figure 1", "figure 1", func(w io.Writer) (err error) {
-			rep.Figure1, err = r.Figure1(w)
-			return
-		}},
-		{"Table 2", "table 2", func(w io.Writer) (err error) {
-			rep.Table2, err = r.Table2(w)
-			return
-		}},
-		{"Figure 3 and §4 request/response types", "figure 3", func(w io.Writer) (err error) {
-			rep.Figure3, err = r.Figure3(w)
-			return
-		}},
-		{"Figure 4 and §4 cacheability", "figure 4", func(w io.Writer) (err error) {
-			rep.Figure4, err = r.Figure4(w)
-			return
-		}},
-		{"Figure 5 and §5.1 periodicity", "figure 5", func(w io.Writer) (err error) {
-			rep.Periods, err = r.Figure5(w)
-			return
-		}},
-		{"Figure 6", "figure 6", func(w io.Writer) (err error) {
-			_, err = r.Figure6(w)
-			return
-		}},
-		{"Table 3 and §5.2 prediction", "table 3", func(w io.Writer) (err error) {
-			rep.Table3, err = r.Table3(w)
-			return
-		}},
-		{"Prefetch simulation (§5.2 implication)", "prefetch", func(w io.Writer) (err error) {
-			rep.Prefetch, err = r.Prefetch(w)
-			return
-		}},
-		{"Deprioritization (§7 implication)", "deprioritize", func(w io.Writer) (err error) {
-			rep.Deprioritize, err = r.Deprioritize(w)
-			return
-		}},
-		{"Anomaly detection (§5 applications)", "anomaly", func(w io.Writer) (err error) {
-			rep.Anomaly, err = r.Anomaly(w)
-			return
-		}},
-		{"Regional vantages (§7 limitation)", "regional", func(w io.Writer) (err error) {
-			rep.Regional, err = r.Regional(w)
-			return
-		}},
-		{"Resilience under origin faults (robustness)", "resilience", func(w io.Writer) (err error) {
-			rep.Resilience, err = r.Resilience(w)
-			return
-		}},
-	}
-
+	steps := r.stepSpecs(&rep)
 	rep.Steps = make([]StepStatus, len(steps))
 	for i, st := range steps {
 		rep.Steps[i] = StepStatus{Name: st.title, State: StepSkipped}
 	}
+
+	if r.cfg.Jobs > 1 {
+		err := r.runAllParallel(ctx, w, steps, &rep)
+		return &rep, err
+	}
+
 	for i, st := range steps {
 		if err := ctx.Err(); err != nil {
 			return &rep, err
@@ -174,12 +216,12 @@ func (r *Runner) RunAllContext(ctx context.Context, w io.Writer) (*Report, error
 		start := time.Now()
 		err := st.fn(w)
 		sp.End()
+		rep.Steps[i].Wall = time.Since(start)
 		if err != nil {
 			rep.Steps[i].State = StepFailed
 			return &rep, fmt.Errorf("%s: %w", st.errAs, err)
 		}
 		rep.Steps[i].State = StepCompleted
-		rep.Steps[i].Wall = time.Since(start)
 	}
 	return &rep, nil
 }

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the parallel RunAll scheduler. The paper's analyses are
+// all functions of the log stream: once the shared datasets exist, each
+// figure/table reads them (and its own local RNG streams) without
+// mutating anything another step can see. The scheduler exploits
+// exactly that — it materializes the union of the selected steps'
+// declared needs up front (short-term and pattern datasets generated
+// concurrently, then the memoized periodicity analysis), then runs the
+// steps themselves on Config.Jobs workers. Each step writes into its
+// own buffer; buffers flush to the caller's writer in paper order, as
+// soon as the prefix of finished steps allows, so the emitted report is
+// byte-identical to a sequential run.
+
+// stepOutcome is one step's buffered text and result, filled in by a
+// worker and consumed by the ordered flusher.
+type stepOutcome struct {
+	buf  bytes.Buffer
+	err  error
+	wall time.Duration
+	done bool // set by the flusher when the outcome arrives
+}
+
+// runAllParallel executes steps on r.cfg.Jobs workers. It assumes
+// rep.Steps is pre-populated with every step marked skipped; it flips
+// states to completed/failed as outcomes arrive. Dispatch is strictly
+// in paper order and stops at the first failure or cancellation, so
+// the started steps always form a prefix: in-flight steps finish (and
+// their text is flushed), unstarted steps stay skipped.
+func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSpec, rep *Report) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if errAs, err := r.materialize(ctx, steps); err != nil {
+		// A dataset failed; in a sequential run the first step needing it
+		// would have reported this, so attribute it the same way.
+		for i, st := range steps {
+			if st.errAs == errAs {
+				rep.Steps[i].State = StepFailed
+				break
+			}
+		}
+		return fmt.Errorf("%s: %w", errAs, err)
+	}
+
+	var running *obs.Gauge
+	var wallHist *obs.Histogram
+	if r.obsReg != nil {
+		running = r.obsReg.Gauge("experiments_steps_running")
+		wallHist = r.obsReg.Histogram("experiments_step_wall_seconds", nil)
+	}
+
+	jobs := r.cfg.Jobs
+	if jobs > len(steps) {
+		jobs = len(steps)
+	}
+	outs := make([]*stepOutcome, len(steps))
+	for i := range outs {
+		outs[i] = &stepOutcome{}
+	}
+
+	var abort atomic.Bool
+	idxCh := make(chan int)
+	doneCh := make(chan int, len(steps))
+
+	var wg sync.WaitGroup
+	for k := 0; k < jobs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				st, o := steps[i], outs[i]
+				fmt.Fprintf(&o.buf, "\n== %s ==\n", st.title)
+				if running != nil {
+					running.Inc()
+				}
+				sp := r.span(st.errAs)
+				start := time.Now()
+				o.err = st.fn(&o.buf)
+				sp.End()
+				o.wall = time.Since(start)
+				if wallHist != nil {
+					wallHist.ObserveSince(start)
+				}
+				if running != nil {
+					running.Dec()
+				}
+				if o.err != nil {
+					abort.Store(true)
+				}
+				doneCh <- i
+			}
+		}()
+	}
+
+	// Dispatch in paper order; stop feeding on failure or cancellation.
+	go func() {
+		defer close(idxCh)
+		for i := range steps {
+			if abort.Load() {
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	// Flush finished buffers in order: because dispatch is a strict
+	// prefix, streaming the contiguous done-prefix covers every started
+	// step by the time doneCh closes.
+	next := 0
+	for i := range doneCh {
+		o := outs[i]
+		o.done = true
+		rep.Steps[i].Wall = o.wall
+		if o.err != nil {
+			rep.Steps[i].State = StepFailed
+		} else {
+			rep.Steps[i].State = StepCompleted
+		}
+		for next < len(steps) && outs[next].done {
+			if _, err := w.Write(outs[next].buf.Bytes()); err != nil {
+				// Keep collecting outcomes so the report ledger is right,
+				// but there is nowhere left to write the text.
+				w = io.Discard
+			}
+			next++
+		}
+	}
+
+	// First failure in paper order wins, matching the sequential path.
+	for i := range steps {
+		if outs[i].err != nil {
+			return fmt.Errorf("%s: %w", steps[i].errAs, outs[i].err)
+		}
+	}
+	return ctx.Err()
+}
+
+// materialize generates the union of the steps' declared resources:
+// the short-term and pattern datasets concurrently, then the
+// periodicity analysis (which consumes the pattern dataset). On error
+// it returns the errAs label of the first paper-order step that needs
+// the failed resource, so the caller can attribute the failure the way
+// a sequential run would.
+func (r *Runner) materialize(ctx context.Context, steps []stepSpec) (string, error) {
+	var need stepNeed
+	for _, st := range steps {
+		need |= st.needs
+	}
+	if need == 0 {
+		return "", nil
+	}
+	if err := ctx.Err(); err != nil {
+		return firstNeeding(steps, need), err
+	}
+
+	var wg sync.WaitGroup
+	var shortErr, patternErr, perErr error
+	if need&needShort != 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, shortErr = r.ShortTermRecords()
+		}()
+	}
+	if need&(needPattern|needPeriodicity) != 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, patternErr = r.PatternRecords(); patternErr != nil {
+				return
+			}
+			if need&needPeriodicity != 0 {
+				_, perErr = r.periodicity()
+			}
+		}()
+	}
+	wg.Wait()
+
+	switch {
+	case shortErr != nil:
+		return firstNeeding(steps, needShort), shortErr
+	case patternErr != nil:
+		return firstNeeding(steps, needPattern|needPeriodicity), patternErr
+	case perErr != nil:
+		return firstNeeding(steps, needPeriodicity), perErr
+	}
+	return "", nil
+}
+
+// firstNeeding returns the errAs label of the first step whose needs
+// intersect mask.
+func firstNeeding(steps []stepSpec, mask stepNeed) string {
+	for _, st := range steps {
+		if st.needs&mask != 0 {
+			return st.errAs
+		}
+	}
+	return steps[0].errAs
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallConfig is the tiny-but-pattern-bearing configuration the
+// scheduler tests run the full report at, twice.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.001
+	cfg.PatternTarget = 60_000
+	cfg.PatternWindow = time.Hour
+	cfg.Permutations = 30
+	cfg.SampleBin = 2 * time.Second
+	return cfg
+}
+
+// zeroWalls clears the per-step wall times, the only part of a Report
+// that legitimately differs between runs.
+func zeroWalls(rep *Report) {
+	for i := range rep.Steps {
+		rep.Steps[i].Wall = 0
+	}
+}
+
+// TestRunAllParallelGolden is the tentpole's contract: a parallel run
+// emits byte-identical report text and an identical Report struct to
+// the sequential run.
+func TestRunAllParallelGolden(t *testing.T) {
+	var seqText strings.Builder
+	seqRep, err := NewRunner(smallConfig()).RunAll(&seqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := smallConfig()
+	parCfg.Jobs = 4
+	var parText strings.Builder
+	parRep, err := NewRunner(parCfg).RunAll(&parText)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqText.String() != parText.String() {
+		t.Errorf("parallel report text differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seqText.String(), parText.String())
+	}
+	zeroWalls(seqRep)
+	zeroWalls(parRep)
+	if !reflect.DeepEqual(seqRep, parRep) {
+		t.Error("parallel Report struct differs from sequential")
+	}
+	if got := parRep.Completed(); got != len(parRep.Steps) {
+		t.Errorf("parallel run completed %d of %d steps", got, len(parRep.Steps))
+	}
+}
+
+// TestRunAllParallelCancelledBeforeStart returns the all-skipped ledger
+// and ctx's error without running anything.
+func TestRunAllParallelCancelledBeforeStart(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Jobs = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	rep, err := NewRunner(cfg).RunAllContext(ctx, &sb)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run must still return the report ledger")
+	}
+	for _, st := range rep.Steps {
+		if st.State != StepSkipped {
+			t.Errorf("step %q = %v, want skipped", st.Name, st.State)
+		}
+	}
+	if sb.Len() != 0 {
+		t.Errorf("cancelled-before-start run wrote output:\n%s", sb.String())
+	}
+}
+
+// TestWriteStepSummaryFailedWall checks that failed steps report their
+// wall time (they ran), while skipped steps (which never started) do
+// not.
+func TestWriteStepSummaryFailedWall(t *testing.T) {
+	rep := &Report{Steps: []StepStatus{
+		{Name: "Figure 1", State: StepCompleted, Wall: 120 * time.Millisecond},
+		{Name: "Table 2", State: StepFailed, Wall: 45 * time.Millisecond},
+		{Name: "Figure 3", State: StepSkipped},
+	}}
+	var sb strings.Builder
+	rep.WriteStepSummary(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "failed (45ms)") {
+		t.Errorf("failed step missing wall time:\n%s", out)
+	}
+	if !strings.Contains(out, "completed (120ms)") {
+		t.Errorf("completed step missing wall time:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "skipped") && strings.Contains(line, "ms") {
+			t.Errorf("skipped step reports a wall time: %q", line)
+		}
+	}
+}
+
+// TestRunAllParallelJobsCap checks Jobs beyond the step count is
+// harmless and sanitize keeps the sequential default.
+func TestRunAllParallelJobsCap(t *testing.T) {
+	cfg := Config{}
+	cfg.sanitize()
+	if cfg.Jobs != 1 {
+		t.Errorf("default Jobs = %d, want 1 (sequential)", cfg.Jobs)
+	}
+	if cfg.Shards != 1 {
+		t.Errorf("default Shards = %d, want 1", cfg.Shards)
+	}
+}

@@ -1,0 +1,45 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/logfmt"
+)
+
+// BenchmarkPipelineTSV measures the fan-out decode path end to end —
+// the throughput a `jsonchar -i logs.tsv` run is bounded by. The -j
+// flag maps to Workers.
+func BenchmarkPipelineTSV(b *testing.B) {
+	recs := synthRecords(b, 10_000)
+	stream := encodeTSV(recs)
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		name := "workers=1"
+		if workers != 1 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := PipelineConfig{Workers: workers}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(stream)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				_, err := Run(context.Background(), bytes.NewReader(stream), logfmt.FormatTSV, cfg,
+					func(r *logfmt.Record) error { n++; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != len(recs) {
+					b.Fatalf("decoded %d of %d records", n, len(recs))
+				}
+			}
+		})
+	}
+}

@@ -135,6 +135,7 @@ type BinaryReader struct {
 	offset   int64
 	records  int64
 	started  bool
+	intern   *Interner
 }
 
 // NewBinaryReader returns a reader decoding the binary format from r,
@@ -146,7 +147,7 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 			br = bufio.NewReaderSize(gz, 1<<16)
 		}
 	}
-	return &BinaryReader{br: br}
+	return &BinaryReader{br: br, intern: NewInterner(0)}
 }
 
 // Read decodes the next record. It returns io.EOF at end of stream.
@@ -213,6 +214,11 @@ func (rd *BinaryReader) Read(r *Record) error {
 			Span: rd.offset - frameStart, Err: err}
 	}
 	rd.prevNano = prev
+	// Methods and MIME types come out of the dictionary already shared;
+	// URL and user agent are literals, interned here so repeated values
+	// share one copy across the decoded dataset.
+	r.URL = rd.intern.Intern(r.URL)
+	r.UserAgent = rd.intern.Intern(r.UserAgent)
 	return nil
 }
 

@@ -116,12 +116,12 @@ func ParseTSV(line string, r *Record) error {
 	}
 	r.Time = t
 	r.ClientID = id
-	r.Method = fields[2]
+	r.Method = canonMethod(fields[2])
 	r.URL = fields[3]
 	r.Cache = cache
 	r.Status = status
 	r.Bytes = size
-	r.MIMEType = fields[7]
+	r.MIMEType = canonMIME(fields[7])
 	r.UserAgent = unescape(fields[8])
 	return nil
 }
@@ -171,10 +171,10 @@ func UnmarshalJSONLine(data []byte, r *Record) error {
 	}
 	r.Time = jr.Time
 	r.ClientID = id
-	r.Method = jr.Method
+	r.Method = canonMethod(jr.Method)
 	r.URL = jr.URL
 	r.UserAgent = jr.UserAgent
-	r.MIMEType = jr.MIMEType
+	r.MIMEType = canonMIME(jr.MIMEType)
 	r.Status = jr.Status
 	r.Bytes = jr.Bytes
 	r.Cache = cache
@@ -266,12 +266,18 @@ func (w *Writer) Close() error {
 
 // Reader streams records from an underlying io.Reader, transparently
 // detecting gzip. Reader is not safe for concurrent use.
+//
+// Decoded URL and user-agent strings are interned per reader (see
+// Interner): repeated values share one canonical copy instead of each
+// record pinning its own — on the TSV path that copy also releases the
+// source line the substrings would otherwise keep alive.
 type Reader struct {
 	br      *bufio.Reader
 	format  Format
 	line    int64
 	offset  int64
 	records int64
+	intern  *Interner
 }
 
 // NewReader returns a Reader decoding the given format from r,
@@ -286,7 +292,7 @@ func NewReader(r io.Reader, format Format) (*Reader, error) {
 		}
 		br = bufio.NewReaderSize(gz, 1<<16)
 	}
-	return &Reader{br: br, format: format}, nil
+	return &Reader{br: br, format: format, intern: NewInterner(0)}, nil
 }
 
 // Read decodes the next record into r. It returns io.EOF at end of
@@ -335,6 +341,8 @@ func (rd *Reader) Read(r *Record) error {
 				Err:    fmt.Errorf("line %d: %w", rd.line, perr),
 			}
 		}
+		r.URL = rd.intern.Intern(r.URL)
+		r.UserAgent = rd.intern.Intern(r.UserAgent)
 		return nil
 	}
 }

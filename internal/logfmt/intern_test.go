@@ -1,0 +1,145 @@
+package logfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestInternerCanonicalizes(t *testing.T) {
+	in := NewInterner(0)
+	a := in.Intern("https://example.com/api/feed")
+	b := in.Intern("https://" + "example.com" + "/api/feed")
+	if a != b {
+		t.Fatal("equal strings not equal after interning")
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("equal strings interned to different backing arrays")
+	}
+	if in.Len() != 1 {
+		t.Errorf("Len = %d, want 1", in.Len())
+	}
+}
+
+func TestInternerCapStopsGrowth(t *testing.T) {
+	in := NewInterner(3)
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		if got := in.Intern(s); got != s {
+			t.Errorf("Intern(%q) = %q", s, got)
+		}
+	}
+	if in.Len() != 3 {
+		t.Errorf("capped interner holds %d strings, want 3", in.Len())
+	}
+}
+
+func TestInternerNilAndEmpty(t *testing.T) {
+	var in *Interner
+	if in.Intern("x") != "x" || in.Len() != 0 {
+		t.Error("nil interner must pass strings through")
+	}
+	if NewInterner(0).Intern("") != "" {
+		t.Error("empty string mangled")
+	}
+}
+
+// TestReaderInternsAcrossRecords round-trips two records sharing a URL
+// and checks the decoded copies share one backing array.
+func TestReaderInternsAcrossRecords(t *testing.T) {
+	rec := Record{
+		Time: time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC), ClientID: 7,
+		Method: "GET", URL: "https://d.example/api/feed", MIMEType: "application/json",
+		UserAgent: "AppleCoreMedia/1.0", Status: 200, Bytes: 321, Cache: CacheHit,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatTSV)
+	for i := 0; i < 2; i++ {
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf, FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b Record
+	if err := rd.Read(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Read(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.URL != rec.URL || b.URL != rec.URL {
+		t.Fatalf("round trip mangled URL: %q / %q", a.URL, b.URL)
+	}
+	if unsafe.StringData(a.URL) != unsafe.StringData(b.URL) {
+		t.Error("decoded URLs not interned to one copy")
+	}
+	if unsafe.StringData(a.UserAgent) != unsafe.StringData(b.UserAgent) {
+		t.Error("decoded user agents not interned to one copy")
+	}
+	if a.Method != "GET" || a.MIMEType != "application/json" {
+		t.Errorf("canonicalization changed values: %q %q", a.Method, a.MIMEType)
+	}
+}
+
+func TestCanonPassThroughUnknown(t *testing.T) {
+	if canonMethod("BREW") != "BREW" || canonMIME("application/x-custom") != "application/x-custom" {
+		t.Error("unknown values must pass through unchanged")
+	}
+}
+
+// BenchmarkReaderInterned measures the decode path over a repetitive
+// stream — the interner should hold steady-state allocations near zero
+// for the string fields.
+func BenchmarkReaderInterned(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatTSV)
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1000; i++ {
+		rec := Record{
+			Time: base.Add(time.Duration(i) * time.Millisecond), ClientID: uint64(i % 50),
+			Method: "GET", URL: "https://d.example/api/feed" + string(rune('a'+i%8)),
+			MIMEType: "application/json", UserAgent: "okhttp/3.12",
+			Status: 200, Bytes: 512, Cache: CacheMiss,
+		}
+		if err := w.Write(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewReader(bytes.NewReader(data), FormatTSV)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r Record
+		if err := rd.ForEach(func(rec *Record) error { r = *rec; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		_ = r
+	}
+}
+
+func TestInternerSubstringUnpinned(t *testing.T) {
+	line := strings.Repeat("x", 1<<16) + "tail"
+	sub := line[1<<16:]
+	in := NewInterner(0)
+	got := in.Intern(sub)
+	if got != "tail" {
+		t.Fatalf("Intern(%q) = %q", sub, got)
+	}
+	if unsafe.StringData(got) == unsafe.StringData(sub) {
+		t.Error("interned string shares the substring's backing array (pins the source line)")
+	}
+}

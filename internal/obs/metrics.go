@@ -13,6 +13,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing integer metric. The zero value
@@ -54,6 +55,12 @@ func (g *Gauge) Add(delta float64) {
 		}
 	}
 }
+
+// Inc adds one — the enter half of an in-flight gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one — the leave half of an in-flight gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
@@ -123,6 +130,10 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// ObserveSince records the seconds elapsed since start — the usual
+// way a duration histogram is fed from a deferred call.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
 
 // HistogramSnapshot is a point-in-time read of a histogram.
 type HistogramSnapshot struct {

@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -22,6 +23,27 @@ func TestGauge(t *testing.T) {
 	g.Add(-3)
 	if got := g.Value(); got != 1 {
 		t.Errorf("gauge = %g, want 1", got)
+	}
+}
+
+func TestGaugeIncDec(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge after Inc/Inc/Dec = %g, want 1", got)
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	h := newHistogram(nil)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if s := h.Sum(); s <= 0 || s > 10 {
+		t.Errorf("observed elapsed seconds = %g, want small positive", s)
 	}
 }
 

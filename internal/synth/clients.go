@@ -27,6 +27,7 @@ const (
 	browserPageGap    = 40.0 // seconds between page loads
 	browserJSONPerPg  = 2
 	browserAssetPerPg = 3
+	browserPageMod    = 24 // distinct HTML pages per domain
 	embThinkMean      = 20.0
 	embSessionLen     = 8
 	embIdleMean       = 120.0
@@ -96,7 +97,7 @@ func (c *appClient) fire(now time.Time, g *generator) time.Time {
 	}
 	g.emitJSON(c.id, c.ua, method, url, c.domain, now)
 	if c.rng.Bool(c.imageProb) {
-		img := fmt.Sprintf("https://%s/media/img%d.jpg", c.domain.Name, 1000+c.current)
+		img := g.imageURL(c.domain, c.current)
 		g.emitAsset(c.id, c.ua, img, "image/jpeg", now.Add(time.Duration(c.rng.Intn(900))*time.Millisecond))
 	}
 	c.remaining--
@@ -146,10 +147,10 @@ type browserClient struct {
 func (c *browserClient) fire(now time.Time, g *generator) time.Time {
 	c.page++
 	d := c.domain
-	html := fmt.Sprintf("https://%s/pages/p%d.html", d.Name, c.page%24)
+	html := g.pageURL(d, c.page%browserPageMod)
 	g.emitHTML(c.id, c.ua, html, now)
 	for i := 0; i < browserAssetPerPg; i++ {
-		asset := fmt.Sprintf("https://%s/static/app%d.js", d.Name, i)
+		asset := g.assetURL(d, i)
 		g.emitAsset(c.id, c.ua, asset, "application/javascript", now.Add(time.Duration(50+i*30)*time.Millisecond))
 	}
 	m := d.App

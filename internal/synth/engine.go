@@ -42,9 +42,17 @@ var pollPeriods = []struct {
 // strict ordering sort per flow. The *logfmt.Record passed to emit is
 // reused across calls; emit must copy any fields it retains. Generate
 // stops early and returns emit's error if emit fails.
+//
+// With cfg.Shards > 1 the client population is split across that many
+// independent sub-generators running concurrently, and their streams are
+// merged by timestamp before reaching emit (see generateSharded); emit
+// itself is always called from a single goroutine.
 func Generate(cfg Config, emit func(*logfmt.Record) error) error {
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	if cfg.Shards > 1 {
+		return generateSharded(cfg, emit)
 	}
 	g := newGenerator(cfg, emit)
 	g.buildPopulation()
@@ -82,8 +90,65 @@ type generator struct {
 	htmlSizes  stats.LogNormal
 	assetSizes stats.LogNormal
 
+	// idPrefix namespaces client IDs per shard ("" for the unsharded
+	// generator, preserving its historical ID stream); fleetBase offsets
+	// poll-fleet indices so sharded fleets never share a URL.
+	idPrefix  string
+	fleetBase int
+
+	// urls interns the per-domain asset/page/image URL strings so the
+	// hot emit paths do not rebuild an identical string per request.
+	urls map[*Domain]*domainURLs
+
 	nextClientID uint64
 	rec          logfmt.Record
+}
+
+// domainURLs caches the formatted sub-resource URLs of one domain.
+type domainURLs struct {
+	pages  [browserPageMod]string
+	assets [browserAssetPerPg]string
+	images map[int]string
+}
+
+// domainURLs returns (creating on first use) d's URL cache.
+func (g *generator) domainURLs(d *Domain) *domainURLs {
+	u := g.urls[d]
+	if u == nil {
+		u = &domainURLs{images: make(map[int]string)}
+		g.urls[d] = u
+	}
+	return u
+}
+
+// pageURL returns the interned HTML page URL for page index i (mod the
+// page rotation).
+func (g *generator) pageURL(d *Domain, i int) string {
+	u := g.domainURLs(d)
+	if u.pages[i] == "" {
+		u.pages[i] = "https://" + d.Name + "/pages/p" + itoa(i) + ".html"
+	}
+	return u.pages[i]
+}
+
+// assetURL returns the interned static-asset URL for asset slot i.
+func (g *generator) assetURL(d *Domain, i int) string {
+	u := g.domainURLs(d)
+	if u.assets[i] == "" {
+		u.assets[i] = "https://" + d.Name + "/static/app" + itoa(i) + ".js"
+	}
+	return u.assets[i]
+}
+
+// imageURL returns the interned media URL referenced by content index i.
+func (g *generator) imageURL(d *Domain, i int) string {
+	u := g.domainURLs(d)
+	s, ok := u.images[i]
+	if !ok {
+		s = "https://" + d.Name + "/media/img" + itoa(1000+i) + ".jpg"
+		u.images[i] = s
+	}
+	return s
 }
 
 func newGenerator(cfg Config, emit func(*logfmt.Record) error) *generator {
@@ -110,6 +175,7 @@ func newGenerator(cfg Config, emit func(*logfmt.Record) error) *generator {
 		lastServed: make(map[string]time.Time),
 		htmlSizes:  html,
 		assetSizes: asset,
+		urls:       make(map[*Domain]*domainURLs),
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Help("synth_records_generated_total", "Log records emitted by the synthetic generator.")
@@ -125,6 +191,11 @@ func (g *generator) Universe() *Universe { return g.universe }
 
 func (g *generator) newClientID() uint64 {
 	g.nextClientID++
+	if g.idPrefix != "" {
+		// Sharded generators draw from a per-shard ID namespace so no
+		// two shards can mint the same client.
+		return logfmt.HashClientIP(g.idPrefix + itoa(int(g.nextClientID)) + "-client")
+	}
 	// Spread IDs as if hashed IPs.
 	return logfmt.HashClientIP(string(rune(g.nextClientID)) + "-client")
 }
@@ -229,7 +300,7 @@ func (g *generator) buildPollFleets(budget float64) {
 	if len(feasible) == 0 {
 		return
 	}
-	idx := 0
+	idx := g.fleetBase
 	for _, b := range feasible {
 		share := budget * b.w / totalW
 		perPoller := d / b.period.Seconds()

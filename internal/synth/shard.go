@@ -1,0 +1,218 @@
+package synth
+
+import (
+	"sync"
+
+	"repro/internal/logfmt"
+	"repro/internal/stats"
+)
+
+// MaxShards bounds Config.Shards; far above any sensible core count, it
+// exists only to keep a typo from spawning a million goroutines.
+const MaxShards = 1024
+
+// shardBatchSize is how many records a shard accumulates before handing
+// them to the merger; shardQueueDepth bounds the batches in flight per
+// shard, so total buffered memory is
+// shards * (shardQueueDepth+1) * shardBatchSize records.
+const (
+	shardBatchSize  = 1024
+	shardQueueDepth = 2
+)
+
+// generateSharded splits the client population across cfg.Shards
+// independent sub-generators, runs them concurrently, and merges their
+// record streams by timestamp into emit.
+//
+// Determinism: shard s derives its population RNG with
+// stats.RNG.SplitIndexed(s) — a pure function of (Seed, s) — and every
+// shard builds the same domain universe and user-agent pools from the
+// base seed, so a given (Seed, TargetRequests, Shards) always yields the
+// same merged stream, byte for byte, regardless of scheduling. The merge
+// picks the stream whose head record has the earliest timestamp (ties
+// broken by shard index), which also keeps the output as time-ordered as
+// the single-goroutine generator's.
+//
+// All shards must run concurrently (the merge needs every stream's head
+// before it can emit), so parallelism is bounded by backpressure — each
+// shard may buffer at most shardQueueDepth batches ahead — rather than
+// by a worker pool; the Go scheduler time-slices shards over GOMAXPROCS.
+func generateSharded(cfg Config, emit func(*logfmt.Record) error) error {
+	shards := cfg.Shards
+	base := stats.NewRNG(cfg.Seed)
+
+	// stop aborts the producers early when emit fails.
+	stop := make(chan struct{})
+	defer close(stop)
+
+	streams := make([]*shardStream, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		scfg := cfg
+		// Split the request budget evenly, spreading the remainder over
+		// the low shards.
+		scfg.TargetRequests = cfg.TargetRequests / shards
+		if s < cfg.TargetRequests%shards {
+			scfg.TargetRequests++
+		}
+		if scfg.TargetRequests == 0 {
+			scfg.TargetRequests = 1
+		}
+		st := newShardStream(stop)
+		streams[s] = st
+		wg.Add(1)
+		go func(s int, scfg Config) {
+			defer wg.Done()
+			defer st.close()
+			g := newGenerator(scfg, st.emit)
+			// The population RNG is re-pointed at the shard's own
+			// stream; universe and UA pools were already built from the
+			// base seed inside newGenerator, so they are identical
+			// across shards.
+			g.rng = base.SplitIndexed(uint64(s))
+			g.idPrefix = itoa(s) + "/"
+			g.fleetBase = s << 20
+			g.buildPopulation()
+			errs[s] = g.run()
+		}(s, scfg)
+	}
+
+	mergeErr := mergeStreams(streams, emit)
+	if mergeErr != nil {
+		// Unblock producers still waiting to send, then collect them.
+		for _, st := range streams {
+			st.drain()
+		}
+	}
+	wg.Wait()
+	if mergeErr != nil {
+		return mergeErr
+	}
+	for _, err := range errs {
+		if err != nil && err != errShardStopped {
+			return err
+		}
+	}
+	return nil
+}
+
+// errShardStopped aborts a shard generator after the merger has failed;
+// it is internal bookkeeping, never returned to the caller.
+var errShardStopped = &shardStoppedError{}
+
+type shardStoppedError struct{}
+
+func (*shardStoppedError) Error() string { return "synth: shard stopped" }
+
+// shardStream carries one shard's records to the merger in batches.
+type shardStream struct {
+	ch   chan []logfmt.Record
+	stop <-chan struct{}
+
+	// Producer side.
+	batch []logfmt.Record
+
+	// Consumer side.
+	cur []logfmt.Record
+	pos int
+	eof bool
+}
+
+func newShardStream(stop <-chan struct{}) *shardStream {
+	return &shardStream{
+		ch:    make(chan []logfmt.Record, shardQueueDepth),
+		stop:  stop,
+		batch: make([]logfmt.Record, 0, shardBatchSize),
+	}
+}
+
+// emit is the shard generator's emit callback: it copies r into the
+// current batch and ships the batch when full.
+func (st *shardStream) emit(r *logfmt.Record) error {
+	st.batch = append(st.batch, *r)
+	if len(st.batch) < shardBatchSize {
+		return nil
+	}
+	return st.flush()
+}
+
+func (st *shardStream) flush() error {
+	if len(st.batch) == 0 {
+		return nil
+	}
+	select {
+	case st.ch <- st.batch:
+		st.batch = make([]logfmt.Record, 0, shardBatchSize)
+		return nil
+	case <-st.stop:
+		return errShardStopped
+	}
+}
+
+// close ships the final partial batch and closes the channel; called by
+// the producer goroutine when its generator returns.
+func (st *shardStream) close() {
+	_ = st.flush()
+	close(st.ch)
+}
+
+// next advances the consumer cursor, pulling the next batch when the
+// current one is exhausted. It returns false at end of stream.
+func (st *shardStream) next() bool {
+	if st.eof {
+		return false
+	}
+	st.pos++
+	for st.pos >= len(st.cur) {
+		batch, ok := <-st.ch
+		if !ok {
+			st.eof = true
+			return false
+		}
+		st.cur, st.pos = batch, 0
+	}
+	return true
+}
+
+// head returns the record at the consumer cursor; valid only after a
+// true next().
+func (st *shardStream) head() *logfmt.Record { return &st.cur[st.pos] }
+
+// drain discards any in-flight batches so a blocked producer can exit.
+func (st *shardStream) drain() {
+	for range st.ch {
+	}
+}
+
+// mergeStreams k-way merges the shard streams by record timestamp,
+// breaking ties by shard index. Shard counts are small, so a linear scan
+// over stream heads beats a heap and keeps the pick order obvious.
+func mergeStreams(streams []*shardStream, emit func(*logfmt.Record) error) error {
+	live := 0
+	for _, st := range streams {
+		st.pos = -1 // so the first next() lands on index 0
+		if st.next() {
+			live++
+		}
+	}
+	for live > 0 {
+		min := -1
+		for i, st := range streams {
+			if st.eof {
+				continue
+			}
+			if min < 0 || st.head().Time.Before(streams[min].head().Time) {
+				min = i
+			}
+		}
+		st := streams[min]
+		if err := emit(st.head()); err != nil {
+			return err
+		}
+		if !st.next() {
+			live--
+		}
+	}
+	return nil
+}

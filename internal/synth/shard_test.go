@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/logfmt"
+)
+
+// generateAll collects every record of one Generate run.
+func generateAll(t *testing.T, cfg Config) []logfmt.Record {
+	t.Helper()
+	var out []logfmt.Record
+	if err := Generate(cfg, func(r *logfmt.Record) error {
+		out = append(out, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func shardTestConfig(shards int) Config {
+	cfg := ShortTermConfig(7, 0.0008) // ~20K records
+	cfg.Shards = shards
+	return cfg
+}
+
+func recordsEqual(t *testing.T, a, b []logfmt.Record, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d records", what, len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].ClientID != b[i].ClientID ||
+			a[i].Method != b[i].Method || a[i].URL != b[i].URL ||
+			a[i].UserAgent != b[i].UserAgent || a[i].MIMEType != b[i].MIMEType ||
+			a[i].Status != b[i].Status || a[i].Bytes != b[i].Bytes ||
+			a[i].Cache != b[i].Cache {
+			t.Fatalf("%s: record %d differs:\n  %+v\n  %+v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardedGenerateDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		a := generateAll(t, shardTestConfig(shards))
+		b := generateAll(t, shardTestConfig(shards))
+		recordsEqual(t, a, b, "shards="+itoa(shards))
+		if len(a) == 0 {
+			t.Fatalf("shards=%d produced no records", shards)
+		}
+	}
+}
+
+func TestShardsOneMatchesUnsharded(t *testing.T) {
+	// Shards == 1 and Shards == 0 both take the single-goroutine path
+	// and must reproduce the historical stream exactly.
+	zero := generateAll(t, shardTestConfig(0))
+	one := generateAll(t, shardTestConfig(1))
+	recordsEqual(t, zero, one, "shards=1 vs unsharded")
+}
+
+func TestShardedCountNearTarget(t *testing.T) {
+	cfg := shardTestConfig(4)
+	recs := generateAll(t, cfg)
+	lo := float64(cfg.TargetRequests) * 0.80
+	hi := float64(cfg.TargetRequests) * 1.25
+	if n := float64(len(recs)); n < lo || n > hi {
+		t.Errorf("sharded run emitted %d records, want within [%0.f, %0.f] of target %d",
+			len(recs), lo, hi, cfg.TargetRequests)
+	}
+}
+
+func TestShardedSharesUniverse(t *testing.T) {
+	cfg := shardTestConfig(3)
+	recs := generateAll(t, cfg)
+	hosts := map[string]bool{}
+	for i := range recs {
+		u := recs[i].URL
+		u = strings.TrimPrefix(u, "https://")
+		if j := strings.IndexByte(u, '/'); j >= 0 {
+			u = u[:j]
+		}
+		hosts[u] = true
+	}
+	// Every shard draws from the same BuildUniverse(cfg.Domains, ...) —
+	// the union of hosts cannot exceed the universe.
+	if len(hosts) > cfg.Domains {
+		t.Errorf("sharded run touched %d hosts, universe has only %d domains",
+			len(hosts), cfg.Domains)
+	}
+	// Records stay inside the capture window.
+	end := cfg.Start.Add(cfg.Duration)
+	for i := range recs {
+		if recs[i].Time.Before(cfg.Start) || recs[i].Time.After(end) {
+			t.Fatalf("record %d at %v outside window [%v, %v]", i, recs[i].Time, cfg.Start, end)
+		}
+	}
+}
+
+func TestShardedRoughlyTimeOrdered(t *testing.T) {
+	// The merge emits by stream-head timestamp; since each shard's own
+	// stream is only approximately ordered (sub-resource fetches trail
+	// their trigger by < 1s), inversions in the merged stream stay
+	// inside that same bound.
+	recs := generateAll(t, shardTestConfig(4))
+	var worst float64
+	for i := 1; i < len(recs); i++ {
+		if d := recs[i-1].Time.Sub(recs[i].Time).Seconds(); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("merged stream has a %.2fs inversion, want < 1.5s", worst)
+	}
+}
+
+func TestShardedEmitErrorStops(t *testing.T) {
+	cfg := shardTestConfig(4)
+	sentinel := errors.New("stop here")
+	n := 0
+	err := Generate(cfg, func(r *logfmt.Record) error {
+		n++
+		if n == 500 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+	if n != 500 {
+		t.Fatalf("emit called %d times after error, want exactly 500", n)
+	}
+}
+
+func TestShardedClientIDsDisjoint(t *testing.T) {
+	// A client ID appearing in the merged stream must always carry the
+	// same user agent family — shards minting colliding IDs would show
+	// up as one "client" flip-flopping identities.
+	recs := generateAll(t, shardTestConfig(4))
+	ua := map[uint64]string{}
+	collisions := 0
+	for i := range recs {
+		if prev, ok := ua[recs[i].ClientID]; ok {
+			if prev != recs[i].UserAgent {
+				collisions++
+			}
+		} else {
+			ua[recs[i].ClientID] = recs[i].UserAgent
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("%d records saw a client ID with two user agents (shard ID collision?)", collisions)
+	}
+}
