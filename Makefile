@@ -2,14 +2,30 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHOUT ?= BENCH_1.json
 BENCHCOUNT ?= 3
+BENCHBASE ?= BENCH_1.json
+BENCHOUT2 ?= BENCH_2.json
+MAXREGRESS ?= 0.20
+# Pinned staticcheck, run via `go run` so no binary install is needed.
+STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: ci vet build test race fuzz bench
+.PHONY: ci vet lint build test race fuzz bench bench-check
 
 # ci is the tier-1 gate: everything below, in order.
-ci: vet build test race fuzz
+ci: vet lint build test race fuzz
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the pinned staticcheck. The module cache may not have it and
+# the build environment may be offline, so probe first and skip (with a
+# notice) when the pin cannot be fetched — lint must never be the reason
+# an air-gapped `make ci` fails.
+lint:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) unavailable (offline?); skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -31,6 +47,14 @@ race:
 # care about — the file records GOMAXPROCS.
 bench:
 	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT)
+
+# bench-check is the perf regression gate: re-run the suite, write
+# $(BENCHOUT2), and fail if any benchmark's mean ns/op regressed more
+# than $(MAXREGRESS) (fraction) against $(BENCHBASE). Compare baselines
+# from the same machine — ns/op across machines is noise, not signal.
+bench-check:
+	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT2) \
+		-baseline $(BENCHBASE) -max-regress $(MAXREGRESS)
 
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.

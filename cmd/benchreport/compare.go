@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file is the bench regression gate: given a baseline benchreport
+// JSON, compare each benchmark's mean ns/op against it and fail the run
+// when anything slows down by more than the allowed fraction. The
+// comparison is by benchmark name (GOMAXPROCS suffix already trimmed),
+// means taken over the -count repetitions on both sides.
+
+// Delta compares one benchmark's mean ns/op against the baseline.
+type Delta struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"base_ns_per_op"`
+	NewNsPerOp  float64 `json:"new_ns_per_op"`
+	// Ratio is new/base: 1.0 unchanged, >1 slower, <1 faster.
+	Ratio float64 `json:"ratio"`
+}
+
+// Regressed reports whether the delta exceeds the allowed fractional
+// regression (0.20 allows up to 20% slower).
+func (d Delta) Regressed(maxRegress float64) bool {
+	return d.Ratio > 1+maxRegress
+}
+
+// compareBenchmarks computes per-benchmark deltas between a baseline's
+// entries and the current run's, in the current run's order. Benchmarks
+// present on only one side are skipped — a renamed or new benchmark is
+// not a regression.
+func compareBenchmarks(base, cur []Benchmark) []Delta {
+	var out []Delta
+	for _, name := range orderedNames(cur) {
+		b, n := meanNs(base, name), meanNs(cur, name)
+		if b <= 0 || n <= 0 {
+			continue
+		}
+		out = append(out, Delta{Name: name, BaseNsPerOp: b, NewNsPerOp: n, Ratio: n / b})
+	}
+	return out
+}
+
+// orderedNames returns the distinct benchmark names in first-seen order.
+func orderedNames(bs []Benchmark) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, b := range bs {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	return names
+}
+
+// regressions filters deltas exceeding maxRegress.
+func regressions(deltas []Delta, maxRegress float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed(maxRegress) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// readBaseline loads and validates a benchreport JSON document.
+func readBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "repro/benchreport/") {
+		return nil, fmt.Errorf("%s: schema %q is not a benchreport document", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// writeDeltaSummary prints one line per delta, flagging regressions.
+func writeDeltaSummary(deltas []Delta, maxRegress float64) {
+	for _, d := range deltas {
+		mark := " "
+		switch {
+		case d.Regressed(maxRegress):
+			mark = "!"
+		case d.Ratio < 1-maxRegress:
+			mark = "+"
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: %s %-40s %12.0f -> %12.0f ns/op  (%.2fx)\n",
+			mark, d.Name, d.BaseNsPerOp, d.NewNsPerOp, d.Ratio)
+	}
+}

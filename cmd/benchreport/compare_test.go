@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func bm(name string, ns float64) Benchmark {
+	return Benchmark{Package: "./internal/x", Name: name, Iters: 100, NsPerOp: ns}
+}
+
+func TestCompareBenchmarks(t *testing.T) {
+	base := []Benchmark{
+		bm("BenchmarkFast", 100), bm("BenchmarkFast", 110), // mean 105
+		bm("BenchmarkSlow", 1000),
+		bm("BenchmarkGone", 42),
+	}
+	cur := []Benchmark{
+		bm("BenchmarkFast", 105), // 1.0x
+		bm("BenchmarkSlow", 1300),
+		bm("BenchmarkNew", 7), // not in base: skipped
+	}
+	deltas := compareBenchmarks(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Name != "BenchmarkFast" || deltas[1].Name != "BenchmarkSlow" {
+		t.Fatalf("delta order = %q, %q", deltas[0].Name, deltas[1].Name)
+	}
+	if r := deltas[0].Ratio; r < 0.99 || r > 1.01 {
+		t.Errorf("Fast ratio = %.3f, want ~1.0", r)
+	}
+	if r := deltas[1].Ratio; r < 1.29 || r > 1.31 {
+		t.Errorf("Slow ratio = %.3f, want ~1.3", r)
+	}
+
+	if deltas[0].Regressed(0.20) {
+		t.Error("unchanged benchmark flagged as regressed")
+	}
+	if !deltas[1].Regressed(0.20) {
+		t.Error("30%% slower benchmark not flagged at 20%% budget")
+	}
+	if deltas[1].Regressed(0.35) {
+		t.Error("30%% slower benchmark flagged at 35%% budget")
+	}
+
+	bad := regressions(deltas, 0.20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkSlow" {
+		t.Errorf("regressions = %+v, want just BenchmarkSlow", bad)
+	}
+}
+
+func TestCompareImprovementNotRegression(t *testing.T) {
+	// A doctored baseline with a 2x-faster entry makes the current run
+	// look 2x slower — exactly what the gate must catch.
+	base := []Benchmark{bm("BenchmarkX", 500)}
+	cur := []Benchmark{bm("BenchmarkX", 1000)}
+	deltas := compareBenchmarks(base, cur)
+	if len(deltas) != 1 || !deltas[0].Regressed(0.20) {
+		t.Fatalf("2x slowdown not flagged: %+v", deltas)
+	}
+
+	// The mirror image — current run 2x faster — must pass.
+	deltas = compareBenchmarks(cur, base)
+	if deltas[0].Regressed(0.20) {
+		t.Errorf("2x speedup flagged as regression: %+v", deltas)
+	}
+}
+
+func TestReadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "bench.json")
+	rep := Report{Schema: "repro/benchreport/v1", Benchmarks: []Benchmark{bm("BenchmarkX", 10)}}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(good)
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Name != "BenchmarkX" {
+		t.Errorf("baseline round-trip lost benchmarks: %+v", got.Benchmarks)
+	}
+
+	bad := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"something/else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(bad); err == nil {
+		t.Error("foreign schema accepted as baseline")
+	}
+	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

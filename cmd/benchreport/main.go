@@ -67,14 +67,21 @@ type Report struct {
 	RunAllSequentialNs float64 `json:"runall_sequential_ns,omitempty"`
 	RunAllParallelNs   float64 `json:"runall_parallel_ns,omitempty"`
 	RunAllSpeedup      float64 `json:"runall_speedup,omitempty"`
+
+	// Baseline and Deltas are set when the run compared against a prior
+	// report (-baseline): one Delta per benchmark present in both.
+	Baseline string  `json:"baseline,omitempty"`
+	Deltas   []Delta `json:"deltas,omitempty"`
 }
 
 func main() {
 	var (
-		count     = flag.Int("count", 3, "benchmark repetitions (go test -count)")
-		benchtime = flag.String("benchtime", "", "per-benchmark budget (go test -benchtime), e.g. 0.5s or 10x")
-		bench     = flag.String("bench", ".", "benchmark name filter (go test -bench)")
-		out       = flag.String("out", "BENCH_1.json", "output file, or - for stdout")
+		count      = flag.Int("count", 3, "benchmark repetitions (go test -count)")
+		benchtime  = flag.String("benchtime", "", "per-benchmark budget (go test -benchtime), e.g. 0.5s or 10x")
+		bench      = flag.String("bench", ".", "benchmark name filter (go test -bench)")
+		out        = flag.String("out", "BENCH_1.json", "output file, or - for stdout")
+		baseline   = flag.String("baseline", "", "compare mean ns/op against this prior benchreport JSON and exit non-zero on regressions")
+		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression against -baseline (0.20 = 20% slower)")
 	)
 	flag.Parse()
 	if *count < 1 {
@@ -120,6 +127,18 @@ func main() {
 		rep.RunAllSpeedup = seq / par
 	}
 
+	var basRep *Report
+	if *baseline != "" {
+		var err error
+		basRep, err = readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Baseline = *baseline
+		rep.Deltas = compareBenchmarks(basRep.Benchmarks, rep.Benchmarks)
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -128,14 +147,27 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s (runall speedup %.2fx at GOMAXPROCS=%d)\n",
+			len(rep.Benchmarks), *out, rep.RunAllSpeedup, rep.GOMAXPROCS)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
+
+	// The regression gate: any benchmark whose mean ns/op exceeds the
+	// baseline by more than -max-regress fails the run.
+	if basRep != nil {
+		writeDeltaSummary(rep.Deltas, *maxRegress)
+		if bad := regressions(rep.Deltas, *maxRegress); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: %d of %d benchmarks regressed more than %.0f%% vs %s\n",
+				len(bad), len(rep.Deltas), *maxRegress*100, *baseline)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: ok: %d benchmarks within %.0f%% of %s\n",
+			len(rep.Deltas), *maxRegress*100, *baseline)
 	}
-	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s (runall speedup %.2fx at GOMAXPROCS=%d)\n",
-		len(rep.Benchmarks), *out, rep.RunAllSpeedup, rep.GOMAXPROCS)
 }
 
 // parseBench extracts Benchmark entries from `go test -bench` output.

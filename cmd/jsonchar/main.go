@@ -3,6 +3,10 @@
 // browser vs non-browser shares, request methods, response sizes, and
 // the per-category cacheability heatmap (Fig. 4).
 //
+// Every run emits a run manifest (run-<id>.json) recording the
+// effective configuration, toolchain and VCS revision, dead-letter
+// counts, and a final metrics snapshot.
+//
 // Usage:
 //
 //	jsonchar -i logs.tsv.gz
@@ -11,6 +15,7 @@
 //	jsonchar -synth -shards 8         # shard generation across 8 goroutines
 //	jsonchar -i logs.tsv.gz -j 4      # cap text-format decode workers
 //	jsonchar -synth -trace -metrics-addr :9090
+//	jsonchar -i logs.tsv.gz -trace-out t.json   # Chrome trace of the ingest stages
 //
 // File input goes through the tolerant ingest path: malformed records
 // are quarantined (optionally to a -dead-letter JSONL file) and the
@@ -24,6 +29,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +62,10 @@ func main() {
 		deadLetter  = flag.String("dead-letter", "", "append quarantined record spans to this JSONL file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 		trace       = flag.Bool("trace", false, "print a per-stage span table after the run")
+		traceOut    = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file")
+		spanLog     = flag.String("span-log", "", "write the run's span tree as JSONL to this file")
+		manifestDir = flag.String("manifest-dir", ".", "directory for the run-<id>.json manifest (empty disables)")
+		verbose     = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -71,20 +82,54 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var reg *obs.Registry
-	var tr *obs.Trace
-	if *metricsAddr != "" {
-		reg = obs.NewRegistry()
-		_, url, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
-			os.Exit(1)
+	runID := obs.NewRunID()
+	var level slog.Leveler
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, runID, *seed, level).Component("jsonchar")
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+
+	man := obs.NewManifest("jsonchar", runID)
+	man.Config = map[string]any{
+		"input": *in, "synth": *useSynth, "scale": *scale, "seed": *seed,
+		"jobs": *jobs, "shards": *shards,
+		"max_error_rate": *maxErrRate, "dead_letter": *deadLetter,
+	}
+	finish := func(outcome string) {
+		man.Finish(outcome)
+		man.AddMetrics(reg)
+		man.AddTrace(tr)
+		if *manifestDir == "" {
+			return
 		}
-		fmt.Fprintf(os.Stderr, "metrics at %s/metrics\n", url)
+		path, err := man.WriteFile(*manifestDir)
+		if err != nil {
+			logger.Error("writing run manifest", "err", err)
+			return
+		}
+		logger.Info("run manifest written", "path", path)
 	}
-	if *trace {
-		tr = obs.NewTrace()
+	fail := func(err error) {
+		logger.Error("run failed", "err", err)
+		finish("failed")
+		os.Exit(1)
 	}
+
+	if *metricsAddr != "" {
+		_, url, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("admin endpoints up", "url", url, "metrics", url+"/metrics")
+	}
+
+	// The root span of the run: the ingest pipeline stages (read+split,
+	// decode, deliver) attach as children via the context, so a
+	// -trace-out export shows the pipeline's overlap.
+	sp := tr.Start("ingest + characterize")
+	ctx = obs.ContextWithSpan(ctx, sp)
 
 	var src core.Source
 	var fileSrc *ingest.FileSource
@@ -93,6 +138,7 @@ func main() {
 		cfg := synth.ShortTermConfig(*seed, *scale)
 		cfg.Shards = *shards
 		cfg.Obs = reg
+		cfg.Span = sp
 		src = core.SynthSource(cfg)
 	case *in != "":
 		opts := ingest.Options{
@@ -102,8 +148,7 @@ func main() {
 		if *deadLetter != "" {
 			dl, err := os.OpenFile(*deadLetter, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			defer dl.Close()
 			opts.DeadLetter = ingest.NewDeadLetter(dl)
@@ -121,7 +166,6 @@ func main() {
 	cacheability := taxonomy.NewDomainCacheability(domaincat.NewCatalog())
 	hourly := rollup.New(time.Hour)
 	fine := rollup.New(10 * time.Minute)
-	sp := tr.Start("ingest + characterize")
 	err := src.Each(func(r *logfmt.Record) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -137,23 +181,29 @@ func main() {
 		return nil
 	})
 	sp.End()
+	outcome := "completed"
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "jsonchar: interrupted — reporting partial results")
+		outcome = "interrupted"
+		logger.Warn("interrupted: reporting partial results")
 	} else if err != nil {
-		fmt.Fprintf(os.Stderr, "jsonchar: %v\n", err)
-		os.Exit(1)
+		if fileSrc != nil {
+			man.DeadLetters = fileSrc.LastStats.Quarantined
+		}
+		fail(err)
 	}
 	if fileSrc != nil {
-		if st := fileSrc.LastStats; st.Quarantined > 0 {
-			fmt.Fprintf(os.Stderr,
-				"jsonchar: quarantined %d of %d records (%.2f%% corrupt, %d resyncs, %d bytes skipped)\n",
-				st.Quarantined, st.Records+st.Quarantined, st.ErrorRate()*100,
-				st.Resyncs, st.BytesSkipped)
+		st := fileSrc.LastStats
+		man.DeadLetters = st.Quarantined
+		if st.Quarantined > 0 {
+			logger.Warn("records quarantined",
+				"quarantined", st.Quarantined,
+				"total", st.Records+st.Quarantined,
+				"error_rate", fmt.Sprintf("%.2f%%", st.ErrorRate()*100),
+				"resyncs", st.Resyncs, "bytes_skipped", st.BytesSkipped)
 		}
 	}
 	if char.Total == 0 {
-		fmt.Fprintln(os.Stderr, "jsonchar: no application/json records in input")
-		os.Exit(1)
+		fail(errors.New("no application/json records in input"))
 	}
 
 	fmt.Printf("JSON requests: %d\n\n", char.Total)
@@ -226,4 +276,25 @@ func main() {
 		fmt.Println("\nStage trace:")
 		tr.WriteTable(os.Stdout)
 	}
+	if *traceOut != "" {
+		writeExport(*traceOut, tr.WriteChromeTrace, "chrome trace", logger, fail)
+	}
+	if *spanLog != "" {
+		writeExport(*spanLog, tr.WriteSpanLog, "span log", logger, fail)
+	}
+	finish(outcome)
+}
+
+// writeExport writes one trace export file.
+func writeExport(path string, write func(io.Writer) error, kind string, logger *obs.Logger, fail func(error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(fmt.Errorf("creating %s: %w", kind, err))
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		fail(fmt.Errorf("writing %s to %s: %w", kind, path, errors.Join(werr, cerr)))
+	}
+	logger.Info(kind+" written", "path", path)
 }

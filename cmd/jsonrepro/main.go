@@ -1,6 +1,11 @@
 // Command jsonrepro regenerates every table and figure of the paper in
 // one run, printing each alongside the paper's reported values.
 //
+// Every run emits a run manifest (run-<id>.json) recording the full
+// effective configuration, toolchain and VCS revision, the per-step
+// ledger, and a final metrics snapshot — the provenance needed to
+// reproduce any printed figure bit-for-bit.
+//
 // Usage:
 //
 //	jsonrepro                         # laptop-scale defaults
@@ -9,6 +14,9 @@
 //	jsonrepro -j 1                    # force the sequential scheduler
 //	jsonrepro -shards 8               # shard dataset generation 8 ways
 //	jsonrepro -trace                  # per-stage span table after the run
+//	jsonrepro -trace-out t.json       # Chrome trace (about:tracing/Perfetto)
+//	jsonrepro -span-log spans.jsonl   # machine-readable span log
+//	jsonrepro -profile                # CPU+heap pprof bracketing the run
 //	jsonrepro -metrics-addr :9090     # scrape /metrics while it runs
 package main
 
@@ -17,6 +25,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -42,8 +52,13 @@ func main() {
 		shards      = flag.Int("shards", 1, "synth generation shards: 1 reproduces the historical streams; N > 1 generates on N goroutines (deterministic per seed+shards, different stream)")
 		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional,resilience")
 		csvDir      = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /readyz, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
+		traceOut    = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file (load in about:tracing or ui.perfetto.dev)")
+		spanLog     = flag.String("span-log", "", "write the run's span tree as JSONL (one span per line, parent ids intact) to this file")
+		manifestDir = flag.String("manifest-dir", ".", "directory for the run-<id>.json manifest (empty disables)")
+		profile     = flag.Bool("profile", false, "capture CPU and heap pprof profiles bracketing the run (written next to the manifest)")
+		verbose     = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -56,22 +71,59 @@ func main() {
 	}
 
 	// SIGINT/SIGTERM cancels the run at the next step boundary; the
-	// partial report still prints and the process exits 0.
+	// partial report still prints, the manifest records the interrupt,
+	// and the process exits 0.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var reg *obs.Registry
-	var tr *obs.Trace
+	runID := obs.NewRunID()
+	logger := newLogger(os.Stderr, runID, *seed, *verbose).Component("jsonrepro")
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	health := &obs.Health{}
+
+	man := obs.NewManifest("jsonrepro", runID)
+	man.Config = map[string]any{
+		"seed": *seed, "scale": *scale,
+		"pattern_target": *target, "pattern_window": window.String(),
+		"permutations": *x, "sample_bin": bin.String(),
+		"fault_rate": *faultRate, "fault_seed": *faultSeed,
+		"jobs": *jobs, "shards": *shards, "only": *only,
+	}
+
+	// finish seals and writes the manifest; it runs on every exit path
+	// (completed, interrupted, failed) so a crash log always has its
+	// provenance record next to it.
+	finish := func(outcome string, rep *experiments.Report) {
+		man.Finish(outcome)
+		if rep != nil {
+			man.Steps = rep.ManifestSteps()
+		}
+		man.AddMetrics(reg)
+		man.AddTrace(tr)
+		if *manifestDir == "" {
+			return
+		}
+		path, err := man.WriteFile(*manifestDir)
+		if err != nil {
+			logger.Error("writing run manifest", "err", err)
+			return
+		}
+		logger.Info("run manifest written", "path", path)
+	}
+	fail := func(err error) {
+		logger.Error("run failed", "err", err)
+		finish("failed", nil)
+		os.Exit(1)
+	}
+
 	if *metricsAddr != "" {
-		reg = obs.NewRegistry()
-		_, url, err := obs.Serve(*metricsAddr, reg)
+		_, url, err := obs.Serve(*metricsAddr, reg, health)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics at %s/metrics (pprof at %s/debug/pprof/)\n", url, url)
-	}
-	if *trace {
-		tr = obs.NewTrace()
+		logger.Info("admin endpoints up", "url", url,
+			"metrics", url+"/metrics", "readyz", url+"/readyz")
 	}
 
 	cfg := experiments.Config{
@@ -88,30 +140,49 @@ func main() {
 	}
 	r := experiments.NewRunner(cfg)
 	r.Instrument(reg, tr)
+	r.NotifyReady(health)
+
+	var stopProfiles func() error
+	if *profile {
+		var err error
+		stopProfiles, err = obs.StartProfiles(*manifestDir, runID)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("profiling started", "dir", profileDir(*manifestDir))
+	}
+
+	logger.Info("run starting", "jobs", *jobs, "shards", *shards, "scale", *scale)
 	start := time.Now()
 
 	interrupted := false
+	var report *experiments.Report
 	if *only == "" {
 		rep, err := r.RunAllContext(ctx, os.Stdout)
+		report = rep
 		switch {
 		case errors.Is(err, context.Canceled):
 			interrupted = true
+			logger.Warn("interrupted: partial report",
+				"completed", rep.Completed(), "steps", len(rep.Steps))
 			fmt.Printf("\n== Interrupted: partial report (%d/%d steps) ==\n",
 				rep.Completed(), len(rep.Steps))
 			rep.WriteStepSummary(os.Stdout)
 		case err != nil:
+			finishProfiles(stopProfiles, logger)
 			fail(err)
 		}
 		if *csvDir != "" && !interrupted {
 			if err := experiments.WriteCSV(*csvDir, rep); err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+			logger.Info("CSV series written", "dir", *csvDir)
 		}
 	} else {
 		for _, name := range strings.Split(*only, ",") {
 			if ctx.Err() != nil {
 				interrupted = true
+				logger.Warn("interrupted: skipping remaining experiments")
 				fmt.Printf("\n== Interrupted: skipping remaining experiments ==\n")
 				break
 			}
@@ -146,22 +217,72 @@ func main() {
 				err = fmt.Errorf("unknown experiment %q", name)
 			}
 			if err != nil {
+				finishProfiles(stopProfiles, logger)
 				fail(err)
 			}
 		}
 	}
+	finishProfiles(stopProfiles, logger)
+
 	if *trace {
 		fmt.Println("\n== Stage trace ==")
 		tr.WriteTable(os.Stdout)
 	}
-	verb := "completed"
-	if interrupted {
-		verb = "interrupted"
+	if *traceOut != "" {
+		writeExport(*traceOut, tr.WriteChromeTrace, "chrome trace", logger, fail)
 	}
-	fmt.Fprintf(os.Stderr, "\n%s in %s\n", verb, time.Since(start).Round(time.Millisecond))
+	if *spanLog != "" {
+		writeExport(*spanLog, tr.WriteSpanLog, "span log", logger, fail)
+	}
+
+	outcome := "completed"
+	if interrupted {
+		outcome = "interrupted"
+	}
+	finish(outcome, report)
+	logger.Info("run "+outcome, "wall", time.Since(start).Round(time.Millisecond).String())
+	fmt.Fprintf(os.Stderr, "\n%s in %s\n", outcome, time.Since(start).Round(time.Millisecond))
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "jsonrepro: %v\n", err)
-	os.Exit(1)
+// newLogger builds the CLI's structured logger (debug level with -v).
+func newLogger(w io.Writer, runID string, seed uint64, verbose bool) *obs.Logger {
+	var level slog.Leveler
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return obs.NewLogger(w, runID, seed, level)
+}
+
+// finishProfiles stops an active profile bracket, logging the outcome.
+func finishProfiles(stop func() error, logger *obs.Logger) {
+	if stop == nil {
+		return
+	}
+	if err := stop(); err != nil {
+		logger.Error("writing profiles", "err", err)
+		return
+	}
+	logger.Info("profiles written")
+}
+
+// profileDir names where profiles land for the log line.
+func profileDir(dir string) string {
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// writeExport writes one trace export file.
+func writeExport(path string, write func(io.Writer) error, kind string, logger *obs.Logger, fail func(error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(fmt.Errorf("creating %s: %w", kind, err))
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		fail(fmt.Errorf("writing %s to %s: %w", kind, path, errors.Join(werr, cerr)))
+	}
+	logger.Info(kind+" written", "path", path)
 }

@@ -22,9 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -35,12 +35,17 @@ import (
 	"repro/internal/resilience"
 )
 
+// logger is the example's structured logger; main wires it before any
+// client goroutine runs.
+var logger *obs.Logger
+
 func main() {
 	var (
 		faultRate = flag.Float64("fault-rate", 0.15, "probability an origin fetch fails (seeded, reproducible)")
 		faultSeed = flag.Uint64("fault-seed", 7, "seed for fault injection and backoff jitter")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), *faultSeed, nil).Component("liveedge")
 
 	var (
 		mu   sync.Mutex
@@ -72,14 +77,21 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	e.Instrument(reg)
+	// A small retention window: a long-lived edge traces the most recent
+	// requests, not the whole history.
+	e.Trace = &obs.Trace{Limit: 64}
 	origin.Obs = resilience.NewInstrumentation(reg)
 	resilience.RegisterBreaker(reg, breaker)
+	health := &obs.Health{}
 	srv := httptest.NewServer(e)
 	defer srv.Close()
-	admin := httptest.NewServer(obs.AdminMux(reg))
+	admin := httptest.NewServer(obs.AdminMux(reg, health))
 	defer admin.Close()
-	fmt.Printf("edge server listening at %s\n", srv.URL)
-	fmt.Printf("metrics at %s/metrics (pprof at %s/debug/pprof/)\n", admin.URL, admin.URL)
+	// Both listeners are up and the origin path is wired: ready.
+	health.SetReady(true)
+	logger.Info("edge server listening", "url", srv.URL)
+	logger.Info("admin endpoints up", "metrics", admin.URL+"/metrics",
+		"readyz", admin.URL+"/readyz", "pprof", admin.URL+"/debug/pprof/")
 
 	// Drive it: concurrent app clients load the manifest and then read
 	// articles; one IoT poller posts telemetry.
@@ -139,6 +151,8 @@ func main() {
 	fmt.Printf("origin faults absorbed: %d injected over %d fetches, %d retries, %d stale serves, %d breaker opens\n",
 		faulty.Faults(), faulty.Fetches(), origin.Obs.Retries.Value(),
 		e.Obs.StaleServes.Value(), breaker.Opens())
+	fmt.Printf("request trace: %d spans retained (last %d requests), %d dropped by the retention window\n",
+		len(e.Trace.Spans()), e.Trace.Limit, e.Trace.Dropped())
 
 	// Scrape our own admin endpoint to show the zero-to-metrics path.
 	fmt.Printf("\nsample of %s/metrics:\n", admin.URL)
@@ -151,7 +165,7 @@ func main() {
 func printScrapeSample(url string) {
 	resp, err := http.Get(url)
 	if err != nil {
-		log.Printf("scrape: %v", err)
+		logger.Warn("scrape failed", "err", err)
 		return
 	}
 	defer resp.Body.Close()
@@ -176,12 +190,13 @@ func appClient(base string, id int) {
 	get := func(path string) []byte {
 		req, err := http.NewRequest("GET", base+path, nil)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("building request", "client", id, "err", err)
+			os.Exit(1)
 		}
 		req.Header.Set("User-Agent", ua)
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
-			log.Printf("client %d: %v", id, err)
+			logger.Warn("request failed", "client", id, "err", err)
 			return nil
 		}
 		defer resp.Body.Close()
@@ -193,7 +208,7 @@ func appClient(base string, id int) {
 		ID int `json:"article_id"`
 	}
 	if err := json.Unmarshal(manifest, &stories); err != nil {
-		log.Printf("client %d: bad manifest: %v", id, err)
+		logger.Warn("bad manifest", "client", id, "err", err)
 		return
 	}
 	for i, s := range stories {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/uastring"
 )
@@ -51,6 +52,12 @@ type HTTPEdge struct {
 	// serves, and sheds. Wire it with Instrument, which also registers
 	// the cache's metrics.
 	Obs *Instrumentation
+	// Trace, if non-nil, records one span per request (named
+	// "METHOD /path", with method/path/status/cache attributes) and a
+	// child span per origin fetch. The Trace's ring-buffer retention
+	// bounds memory, so a long-lived edge keeps only the most recent
+	// window of request spans.
+	Trace *obs.Trace
 	// Now supplies time (defaults to time.Now); tests override it.
 	Now func() time.Time
 	// ServeStale enables serve-stale-on-error: when the origin fails a
@@ -186,6 +193,11 @@ func isTemporary(err error) bool {
 // ServeHTTP implements http.Handler.
 func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	now := e.now()
+	var reqSp *obs.Span
+	if e.Trace != nil {
+		reqSp = e.Trace.Start(r.Method + " " + r.URL.Path)
+		reqSp.SetAttrs(obs.String("method", r.Method), obs.String("path", r.URL.Path))
+	}
 	key := "http://" + r.Host + r.URL.String()
 	status := http.StatusOK
 	var body []byte
@@ -222,6 +234,8 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				if e.Log != nil {
 					e.logRequest(r, now, "application/json", http.StatusServiceUnavailable, int64(len(shedBody)), logfmt.CacheUncacheable)
 				}
+				reqSp.SetAttrs(obs.Int("status", http.StatusServiceUnavailable), obs.String("cache", "shed"))
+				reqSp.End()
 				return
 			}
 		}
@@ -232,7 +246,13 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// fetch cost.
 			fetchStart = time.Now()
 		}
+		fsp := reqSp.Child("origin fetch")
 		b, m, cacheable, err := e.Origin.Fetch(r.URL.Path)
+		fsp.AddBytes(int64(len(b)))
+		if err != nil {
+			fsp.SetAttrs(obs.Bool("error", true))
+		}
+		fsp.End()
 		if e.Obs != nil {
 			e.Obs.OriginFetch.Observe(time.Since(fetchStart).Seconds())
 			if err != nil {
@@ -290,6 +310,8 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if e.Log != nil {
 			e.logRequest(r, now, mime, http.StatusNotModified, 0, cacheStatus)
 		}
+		reqSp.SetAttrs(obs.Int("status", http.StatusNotModified), obs.String("cache", cacheLabel(cacheStatus, stale)))
+		reqSp.End()
 		return
 	}
 
@@ -308,6 +330,9 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if e.Log != nil {
 		e.logRequest(r, now, mime, status, int64(len(body)), cacheStatus)
 	}
+	reqSp.AddBytes(int64(len(body)))
+	reqSp.SetAttrs(obs.Int("status", status), obs.String("cache", cacheLabel(cacheStatus, stale)))
+	reqSp.End()
 }
 
 // cacheLabel renders the X-Cache header value.

@@ -1,0 +1,121 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// attrMap flattens a span's attrs for assertion.
+func attrMap(s obs.SpanStat) map[string]any {
+	out := make(map[string]any, len(s.Attrs))
+	for _, a := range s.Attrs {
+		out[a.Key] = a.Value
+	}
+	return out
+}
+
+// TestHTTPEdgeRequestSpans checks the request-path trace: a miss gets a
+// request span with an origin-fetch child; the following hit gets a
+// lone request span labeled from the cache.
+func TestHTTPEdgeRequestSpans(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := &obs.Trace{Limit: 16}
+	e := &HTTPEdge{
+		Cache:  NewCache(1<<20, time.Minute, 2),
+		Origin: &JSONOrigin{Articles: 10},
+		Now:    func() time.Time { return now },
+		Trace:  tr,
+	}
+
+	if rec := get(e, "/stories", ""); rec.Code != 200 {
+		t.Fatalf("miss status = %d", rec.Code)
+	}
+	if rec := get(e, "/stories", ""); rec.Code != 200 {
+		t.Fatalf("hit status = %d", rec.Code)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (miss + origin fetch + hit): %+v", len(spans), spans)
+	}
+	var reqs []obs.SpanStat
+	var fetch obs.SpanStat
+	for _, s := range spans {
+		if s.Name == "origin fetch" {
+			fetch = s
+		} else {
+			reqs = append(reqs, s)
+		}
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("request spans = %d, want 2", len(reqs))
+	}
+
+	miss, hit := reqs[0], reqs[1]
+	if miss.Name != "GET /stories" {
+		t.Errorf("request span name = %q", miss.Name)
+	}
+	ma := attrMap(miss)
+	if ma["method"] != "GET" || ma["path"] != "/stories" {
+		t.Errorf("miss attrs = %v", ma)
+	}
+	if ma["status"] != int64(200) || ma["cache"] != "MISS" {
+		t.Errorf("miss status/cache attrs = %v", ma)
+	}
+	if miss.Bytes <= 0 {
+		t.Errorf("miss span bytes = %d, want body size", miss.Bytes)
+	}
+
+	if fetch.Name == "" {
+		t.Fatal("miss has no origin-fetch child span")
+	}
+	if fetch.ParentID != miss.ID || fetch.Depth != 1 {
+		t.Errorf("origin fetch parent/depth = %d/%d, want %d/1", fetch.ParentID, fetch.Depth, miss.ID)
+	}
+	if fetch.Bytes <= 0 {
+		t.Errorf("origin fetch bytes = %d", fetch.Bytes)
+	}
+
+	ha := attrMap(hit)
+	if ha["cache"] != "HIT" || ha["status"] != int64(200) {
+		t.Errorf("hit attrs = %v", ha)
+	}
+}
+
+// TestHTTPEdgeShedSpan checks that a shed request still leaves a span
+// with its 503 and cache=shed labels.
+func TestHTTPEdgeShedSpan(t *testing.T) {
+	tr := obs.NewTrace()
+	e := &HTTPEdge{
+		Cache:    NewCache(1<<20, time.Minute, 2),
+		Origin:   &JSONOrigin{Articles: 10},
+		Degraded: func() bool { return true },
+		Trace:    tr,
+	}
+	// A machine-class miss while degraded is shed with 503.
+	if rec := get(e, "/stories", "HomeCam/1.9 (IoT; ESP32)"); rec.Code != 503 {
+		t.Fatalf("shed status = %d, want 503", rec.Code)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	a := attrMap(spans[0])
+	if a["status"] != int64(503) || a["cache"] != "shed" {
+		t.Errorf("shed span attrs = %v", a)
+	}
+}
+
+// TestHTTPEdgeNoTrace is the nil contract: an untraced edge serves
+// without recording or panicking.
+func TestHTTPEdgeNoTrace(t *testing.T) {
+	e := &HTTPEdge{
+		Cache:  NewCache(1<<20, time.Minute, 2),
+		Origin: &JSONOrigin{Articles: 10},
+	}
+	if rec := get(e, "/stories", ""); rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}

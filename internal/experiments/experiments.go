@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -113,11 +114,29 @@ type Runner struct {
 	obsReg *obs.Registry
 	trace  *obs.Trace
 
-	shortMu sync.Mutex
-	short   []logfmt.Record
+	// spanMu guards the current span-parenting state: rootSp is the
+	// RunAll root span (set for the duration of RunAllContext), curSp is
+	// the span new child spans should parent on right now (the running
+	// step in a sequential run, the materialize phase in a parallel one).
+	spanMu sync.Mutex
+	rootSp *obs.Span
+	curSp  *obs.Span
 
-	patternMu sync.Mutex
-	pattern   []logfmt.Record
+	// health, when set via NotifyReady, flips ready once both shared
+	// datasets are materialized. The done flags are atomics so the
+	// parallel materializers can update them without ordering the
+	// dataset mutexes against each other.
+	health      *obs.Health
+	shortDone   atomic.Bool
+	patternDone atomic.Bool
+
+	shortMu    sync.Mutex
+	short      []logfmt.Record
+	shortBytes int64
+
+	patternMu    sync.Mutex
+	pattern      []logfmt.Record
+	patternBytes int64
 
 	perMu          sync.Mutex
 	periodicityRes *PeriodicityResult
@@ -142,9 +161,47 @@ func (r *Runner) Instrument(reg *obs.Registry, tr *obs.Trace) {
 	r.trace = tr
 }
 
-// span opens a tracer span, or returns a no-op nil span when no tracer
-// is attached.
-func (r *Runner) span(name string) *obs.Span { return r.trace.Start(name) }
+// NotifyReady attaches a readiness gate: once both shared datasets are
+// materialized (generated or injected), h flips ready — the /readyz
+// signal that the expensive startup work is behind the process. Call
+// before running experiments; a nil h is ignored.
+func (r *Runner) NotifyReady(h *obs.Health) { r.health = h }
+
+// markShortDone / markPatternDone record dataset completion and flip
+// the readiness gate when both have landed.
+func (r *Runner) markShortDone()   { r.shortDone.Store(true); r.markReady() }
+func (r *Runner) markPatternDone() { r.patternDone.Store(true); r.markReady() }
+
+func (r *Runner) markReady() {
+	if r.shortDone.Load() && r.patternDone.Load() {
+		r.health.SetReady(true)
+	}
+}
+
+// span opens a tracer span parented on the innermost active scope — the
+// running step in a sequential RunAll, the materialize phase in a
+// parallel one, the RunAll root otherwise — or a root span when no run
+// is active, or a no-op nil span when no tracer is attached.
+func (r *Runner) span(name string) *obs.Span {
+	r.spanMu.Lock()
+	parent := r.curSp
+	if parent == nil {
+		parent = r.rootSp
+	}
+	r.spanMu.Unlock()
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return r.trace.Start(name)
+}
+
+// setCur installs sp as the parent for spans opened until the next
+// setCur; nil restores parenting on the RunAll root.
+func (r *Runner) setCur(sp *obs.Span) {
+	r.spanMu.Lock()
+	r.curSp = sp
+	r.spanMu.Unlock()
+}
 
 // ShortTermRecords returns (generating on first use) the scaled
 // short-term dataset used by the §4 characterization experiments.
@@ -156,6 +213,7 @@ func (r *Runner) ShortTermRecords() ([]logfmt.Record, error) {
 		cfg.Shards = r.cfg.Shards
 		cfg.Obs = r.obsReg
 		sp := r.span("synth short-term dataset")
+		cfg.Span = sp
 		recs, err := core.Collect(core.SynthSource(cfg))
 		if err != nil {
 			sp.End()
@@ -164,8 +222,19 @@ func (r *Runner) ShortTermRecords() ([]logfmt.Record, error) {
 		tallyRecords(sp, recs)
 		sp.End()
 		r.short = recs
+		r.shortBytes = recsBytes(recs)
+		r.markShortDone()
 	}
 	return r.short, nil
+}
+
+// recsBytes sums the body sizes of a dataset.
+func recsBytes(recs []logfmt.Record) int64 {
+	var bytes int64
+	for i := range recs {
+		bytes += recs[i].Bytes
+	}
+	return bytes
 }
 
 // tallyRecords charges a generated dataset to its span.
@@ -173,12 +242,8 @@ func tallyRecords(sp *obs.Span, recs []logfmt.Record) {
 	if sp == nil {
 		return
 	}
-	var bytes int64
-	for i := range recs {
-		bytes += recs[i].Bytes
-	}
 	sp.AddRecords(int64(len(recs)))
-	sp.AddBytes(bytes)
+	sp.AddBytes(recsBytes(recs))
 }
 
 // UseShortTermRecords injects recs as the short-term dataset in place
@@ -189,7 +254,9 @@ func tallyRecords(sp *obs.Span, recs []logfmt.Record) {
 func (r *Runner) UseShortTermRecords(recs []logfmt.Record) {
 	r.shortMu.Lock()
 	r.short = recs
+	r.shortBytes = recsBytes(recs)
 	r.shortMu.Unlock()
+	r.markShortDone()
 }
 
 // UsePatternRecords injects recs as the §5 pattern dataset; see
@@ -197,7 +264,9 @@ func (r *Runner) UseShortTermRecords(recs []logfmt.Record) {
 func (r *Runner) UsePatternRecords(recs []logfmt.Record) {
 	r.patternMu.Lock()
 	r.pattern = recs
+	r.patternBytes = recsBytes(recs)
 	r.patternMu.Unlock()
+	r.markPatternDone()
 }
 
 // PatternConfig returns the synth configuration of the pattern dataset.
@@ -218,7 +287,9 @@ func (r *Runner) PatternRecords() ([]logfmt.Record, error) {
 	defer r.patternMu.Unlock()
 	if r.pattern == nil {
 		sp := r.span("synth pattern dataset")
-		recs, err := core.Collect(core.SynthSource(r.PatternConfig()))
+		cfg := r.PatternConfig()
+		cfg.Span = sp
+		recs, err := core.Collect(core.SynthSource(cfg))
 		if err != nil {
 			sp.End()
 			return nil, fmt.Errorf("experiments: generating pattern dataset: %w", err)
@@ -226,8 +297,30 @@ func (r *Runner) PatternRecords() ([]logfmt.Record, error) {
 		tallyRecords(sp, recs)
 		sp.End()
 		r.pattern = recs
+		r.patternBytes = recsBytes(recs)
+		r.markPatternDone()
 	}
 	return r.pattern, nil
+}
+
+// datasetTotals sums the record and byte counts of the shared datasets
+// a step declared in its needs — the provenance attributed to that step
+// in the run ledger (a step's own outputs are text, so its data volume
+// is the data it read).
+func (r *Runner) datasetTotals(needs stepNeed) (records, bytes int64) {
+	if needs&needShort != 0 {
+		r.shortMu.Lock()
+		records += int64(len(r.short))
+		bytes += r.shortBytes
+		r.shortMu.Unlock()
+	}
+	if needs&(needPattern|needPeriodicity) != 0 {
+		r.patternMu.Lock()
+		records += int64(len(r.pattern))
+		bytes += r.patternBytes
+		r.patternMu.Unlock()
+	}
+	return records, bytes
 }
 
 // out returns w or a discard writer.

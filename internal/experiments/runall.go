@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // StepState classifies how one RunAll step ended.
@@ -42,6 +44,12 @@ type StepStatus struct {
 	// Wall is the step's wall time, recorded for completed and failed
 	// steps alike (zero for skipped steps, which never started).
 	Wall time.Duration
+	// Records and Bytes are the record and body-byte counts of the
+	// shared datasets the step read (zero for steps that generate their
+	// own inputs and for steps that never ran) — the per-step data
+	// provenance carried into run manifests.
+	Records int64
+	Bytes   int64
 }
 
 // Report holds every experiment's structured result.
@@ -87,6 +95,22 @@ func (rep *Report) WriteStepSummary(w io.Writer) {
 			fmt.Fprintf(w, "  %-44s %s (%s)\n", st.Name, st.State, st.Wall.Round(time.Millisecond))
 		}
 	}
+}
+
+// ManifestSteps projects the step ledger into run-manifest entries, the
+// form run-<id>.json records.
+func (rep *Report) ManifestSteps() []obs.ManifestStep {
+	out := make([]obs.ManifestStep, len(rep.Steps))
+	for i, st := range rep.Steps {
+		out[i] = obs.ManifestStep{
+			Name:    st.Name,
+			Status:  st.State.String(),
+			WallNS:  int64(st.Wall),
+			Records: st.Records,
+			Bytes:   st.Bytes,
+		}
+	}
+	return out
 }
 
 // RunAll executes every experiment in paper order, writing the formatted
@@ -202,6 +226,27 @@ func (r *Runner) RunAllContext(ctx context.Context, w io.Writer) (*Report, error
 		rep.Steps[i] = StepStatus{Name: st.title, State: StepSkipped}
 	}
 
+	// The RunAll root span: every step, materialization, and dataset
+	// span opened during the run hangs off it, so the trace export is a
+	// single tree (RunAll → step → dataset → shard).
+	if root := r.trace.Start("RunAll"); root != nil {
+		root.SetAttrs(
+			obs.Int64("seed", int64(r.cfg.Seed)),
+			obs.Float("scale", r.cfg.Scale),
+			obs.Int("jobs", r.cfg.Jobs),
+			obs.Int("shards", r.cfg.Shards),
+		)
+		r.spanMu.Lock()
+		r.rootSp = root
+		r.spanMu.Unlock()
+		defer func() {
+			r.spanMu.Lock()
+			r.rootSp, r.curSp = nil, nil
+			r.spanMu.Unlock()
+			root.End()
+		}()
+	}
+
 	if r.cfg.Jobs > 1 {
 		err := r.runAllParallel(ctx, w, steps, &rep)
 		return &rep, err
@@ -213,10 +258,13 @@ func (r *Runner) RunAllContext(ctx context.Context, w io.Writer) (*Report, error
 		}
 		fmt.Fprintf(w, "\n== %s ==\n", st.title)
 		sp := r.span(st.errAs)
+		r.setCur(sp)
 		start := time.Now()
 		err := st.fn(w)
+		r.setCur(nil)
 		sp.End()
 		rep.Steps[i].Wall = time.Since(start)
+		rep.Steps[i].Records, rep.Steps[i].Bytes = r.datasetTotals(st.needs)
 		if err != nil {
 			rep.Steps[i].State = StepFailed
 			return &rep, fmt.Errorf("%s: %w", st.errAs, err)

@@ -43,7 +43,14 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if errAs, err := r.materialize(ctx, steps); err != nil {
+	// Dataset generation reports under one "materialize datasets" span,
+	// so the trace shows the up-front phase distinctly from the steps.
+	msp := r.span("materialize datasets")
+	r.setCur(msp)
+	errAs, merr := r.materialize(ctx, steps)
+	r.setCur(nil)
+	msp.End()
+	if merr != nil {
 		// A dataset failed; in a sequential run the first step needing it
 		// would have reported this, so attribute it the same way.
 		for i, st := range steps {
@@ -52,7 +59,7 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 				break
 			}
 		}
-		return fmt.Errorf("%s: %w", errAs, err)
+		return fmt.Errorf("%s: %w", errAs, merr)
 	}
 
 	var running *obs.Gauge
@@ -78,7 +85,7 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 	var wg sync.WaitGroup
 	for k := 0; k < jobs; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idxCh {
 				st, o := steps[i], outs[i]
@@ -87,6 +94,7 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 					running.Inc()
 				}
 				sp := r.span(st.errAs)
+				sp.SetAttrs(obs.Int("worker", worker))
 				start := time.Now()
 				o.err = st.fn(&o.buf)
 				sp.End()
@@ -102,7 +110,7 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 				}
 				doneCh <- i
 			}
-		}()
+		}(k)
 	}
 
 	// Dispatch in paper order; stop feeding on failure or cancellation.
@@ -132,6 +140,7 @@ func (r *Runner) runAllParallel(ctx context.Context, w io.Writer, steps []stepSp
 		o := outs[i]
 		o.done = true
 		rep.Steps[i].Wall = o.wall
+		rep.Steps[i].Records, rep.Steps[i].Bytes = r.datasetTotals(steps[i].needs)
 		if o.err != nil {
 			rep.Steps[i].State = StepFailed
 		} else {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 )
 
 // PipelineConfig sizes the bounded decode pipeline. Every stage is
@@ -91,11 +92,29 @@ func Run(ctx context.Context, r io.Reader, format logfmt.Format, cfg PipelineCon
 	results := make(chan decoded, cfg.QueueDepth)
 	m := cfg.Options.Metrics
 
+	// Pipeline stages report as child spans of the caller's span (see
+	// obs.ContextWithSpan); untraced callers get nil no-op spans. The
+	// three stages overlap in time — that overlap is the pipeline's
+	// parallelism, and a trace export renders it as adjacent lanes.
+	parent := obs.SpanFromContext(ctx)
+	readSp := parent.Child("ingest read+split")
+	decodeSp := parent.Child("ingest decode")
+	deliverSp := parent.Child("ingest deliver")
+	defer func() {
+		deliverSp.AddRecords(stats.Records)
+		deliverSp.End()
+	}()
+
 	// Stage 1: split lines, tracking byte offsets and record indices.
 	var prodErr error
 	go func() {
 		defer close(work)
 		var offset, index, seq int64
+		defer func() {
+			readSp.AddBytes(offset)
+			readSp.AddRecords(index)
+			readSp.End()
+		}()
 		batch := lineBatch{seq: seq}
 		flush := func() bool {
 			if len(batch.lines) == 0 {
@@ -146,6 +165,7 @@ func Run(ctx context.Context, r io.Reader, format logfmt.Format, cfg PipelineCon
 		go func() {
 			defer wg.Done()
 			for b := range work {
+				decodeSp.AddRecords(int64(len(b.lines)))
 				out := decoded{seq: b.seq, items: make([]item, len(b.lines))}
 				for i, line := range b.lines {
 					it := &out.items[i]
@@ -179,6 +199,7 @@ func Run(ctx context.Context, r io.Reader, format logfmt.Format, cfg PipelineCon
 	}
 	go func() {
 		wg.Wait()
+		decodeSp.End()
 		close(results)
 	}()
 

@@ -14,11 +14,17 @@ import (
 //	/debug/vars      expvar JSON (cmdline, memstats, anything published)
 //	/debug/pprof/*   runtime profiles (heap, goroutine, CPU, trace, ...)
 //	/healthz         liveness probe ("ok")
+//	/readyz          readiness probe (503 until health flips ready)
 //	/                plain-text index of the above
+//
+// health gates /readyz: nil means the process has no readiness notion
+// and /readyz answers 200 immediately; non-nil answers 503 until
+// SetReady(true) — a repro run flips it once its datasets are
+// materialized, an edge once its origin path is up.
 //
 // Mount it on its own listener (see Serve) — the pprof endpoints are
 // not something to expose on the traffic-serving port.
-func AdminMux(reg *Registry) *http.ServeMux {
+func AdminMux(reg *Registry, health *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,27 +40,39 @@ func AdminMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case health == nil:
+			fmt.Fprintln(w, "ok (no readiness gate)")
+		case health.Ready():
+			fmt.Fprintln(w, "ready")
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "admin endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /healthz\n")
+		fmt.Fprint(w, "admin endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n  /healthz\n  /readyz\n")
 	})
 	return mux
 }
 
-// Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves AdminMux(reg)
-// on it in a background goroutine, and returns the server plus its base
-// URL. Callers that care about clean shutdown should Close the returned
-// server; CLIs that exit anyway may ignore it.
-func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves
+// AdminMux(reg, health) on it in a background goroutine, and returns the
+// server plus its base URL. Callers that care about clean shutdown
+// should Close the returned server; CLIs that exit anyway may ignore it.
+func Serve(addr string, reg *Registry, health *Health) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: AdminMux(reg)}
+	srv := &http.Server{Handler: AdminMux(reg, health)}
 	go srv.Serve(ln)
 	return srv, "http://" + ln.Addr().String(), nil
 }

@@ -25,7 +25,7 @@ func get(t *testing.T, url string) (int, string, http.Header) {
 func TestAdminMuxRoutes(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("edge_cache_hits_total").Add(5)
-	srv := httptest.NewServer(AdminMux(reg))
+	srv := httptest.NewServer(AdminMux(reg, nil))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv.URL+"/metrics")
@@ -58,6 +58,12 @@ func TestAdminMuxRoutes(t *testing.T) {
 		t.Errorf("/healthz status=%d body=%q", code, body)
 	}
 
+	// No Health wired: /readyz has no gate and answers 200.
+	code, body, _ = get(t, srv.URL+"/readyz")
+	if code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("ungated /readyz status=%d body=%q", code, body)
+	}
+
 	code, body, _ = get(t, srv.URL+"/")
 	if code != 200 || !strings.Contains(body, "/metrics") {
 		t.Errorf("index status=%d body=%q", code, body)
@@ -71,7 +77,7 @@ func TestAdminMuxRoutes(t *testing.T) {
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Gauge("up").Set(1)
-	srv, url, err := Serve("127.0.0.1:0", reg)
+	srv, url, err := Serve("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,5 +85,32 @@ func TestServe(t *testing.T) {
 	code, body, _ := get(t, url+"/metrics")
 	if code != 200 || !strings.Contains(body, "up 1") {
 		t.Errorf("Serve scrape: status=%d body=%q", code, body)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	h := &Health{}
+	srv := httptest.NewServer(AdminMux(NewRegistry(), h))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv.URL+"/readyz")
+	if code != 503 || !strings.HasPrefix(body, "not ready") {
+		t.Errorf("pre-ready /readyz status=%d body=%q", code, body)
+	}
+	h.SetReady(true)
+	code, body, _ = get(t, srv.URL+"/readyz")
+	if code != 200 || !strings.HasPrefix(body, "ready") {
+		t.Errorf("ready /readyz status=%d body=%q", code, body)
+	}
+	h.SetReady(false)
+	if code, _, _ := get(t, srv.URL+"/readyz"); code != 503 {
+		t.Errorf("unready /readyz status=%d, want 503", code)
+	}
+
+	// Nil receiver: never ready, never panics.
+	var nilH *Health
+	nilH.SetReady(true)
+	if nilH.Ready() {
+		t.Error("nil Health reports ready")
 	}
 }

@@ -1,0 +1,24 @@
+package obs
+
+import "sync/atomic"
+
+// Health is the readiness state behind the admin mux's /readyz endpoint.
+// Liveness (/healthz) is implicit — a process that answers is alive —
+// but readiness is a decision: a repro run is not ready until its
+// datasets are materialized, an edge not until its origin path is up.
+// All methods are safe on a nil receiver and for concurrent use.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the readiness state.
+func (h *Health) SetReady(v bool) {
+	if h != nil {
+		h.ready.Store(v)
+	}
+}
+
+// Ready reports the readiness state; a nil Health is never ready.
+func (h *Health) Ready() bool {
+	return h != nil && h.ready.Load()
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is the repo's structured logger: a thin wrapper over log/slog
+// that stamps every record with the run id, the seed, and a component
+// name, so a line in a long log is always attributable to the exact run
+// (and therefore the exact run-<id>.json manifest) that produced it.
+//
+// A nil *Logger is a valid no-op — library code can log unconditionally
+// and CLIs decide whether to wire one. Logger is safe for concurrent
+// use.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// NewLogger returns a Logger writing key=value text lines to w, with
+// run_id and seed attached to every record. Level defaults to Info;
+// pass a non-nil leveler (e.g. slog.LevelDebug) to change it.
+func NewLogger(w io.Writer, runID string, seed uint64, level slog.Leveler) *Logger {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return &Logger{sl: slog.New(h).With("run_id", runID, "seed", seed)}
+}
+
+// Component returns a child logger whose records carry component=name.
+func (l *Logger) Component(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With("component", name)}
+}
+
+// With returns a child logger with additional key/value pairs attached
+// to every record.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(args...)}
+}
+
+// Slog exposes the underlying slog.Logger for callers that want the full
+// API; nil for a nil Logger.
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.sl
+}
+
+// Debug logs at debug level with key/value pairs.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.sl.Debug(msg, args...)
+	}
+}
+
+// Info logs at info level with key/value pairs.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.sl.Info(msg, args...)
+	}
+}
+
+// Warn logs at warn level with key/value pairs.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.sl.Warn(msg, args...)
+	}
+}
+
+// Error logs at error level with key/value pairs.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.sl.Error(msg, args...)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "20260101-000000-1-1", 42, nil).Component("jsonrepro")
+	l.Info("run starting", "jobs", 4)
+
+	line := buf.String()
+	for _, want := range []string{
+		"level=INFO", `msg="run starting"`,
+		"run_id=20260101-000000-1-1", "seed=42",
+		"component=jsonrepro", "jobs=4",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "r", 1, nil)
+	l.Debug("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("debug logged at default level: %s", buf.String())
+	}
+	l.Warn("w")
+	l.Error("e")
+	out := buf.String()
+	if !strings.Contains(out, "level=WARN") || !strings.Contains(out, "level=ERROR") {
+		t.Errorf("warn/error missing:\n%s", out)
+	}
+
+	buf.Reset()
+	dl := NewLogger(&buf, "r", 1, slog.LevelDebug)
+	dl.Debug("visible", "k", "v")
+	if !strings.Contains(buf.String(), "level=DEBUG") {
+		t.Errorf("debug level not honored:\n%s", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	if l.Component("x") != nil || l.With("k", "v") != nil || l.Slog() != nil {
+		t.Error("nil logger derived a non-nil child")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "r", 7, nil).With("shard", 3)
+	l.Info("generating")
+	if !strings.Contains(buf.String(), "shard=3") {
+		t.Errorf("With field missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition is a strict parser for the subset of the text
+// exposition format (0.0.4) the registry emits. It validates line
+// structure, label quoting, and escape sequences, and returns samples
+// as name{label="value",...} → numeric value with escapes decoded.
+// Any malformed line fails the test immediately.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("malformed comment line: %q", line)
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		} else {
+			t.Fatalf("no value on line %q", line)
+		}
+		key := name
+		if strings.HasPrefix(rest, "{") {
+			labels, tail, ok := parseLabels(rest[1:])
+			if !ok {
+				t.Fatalf("malformed label block on line %q", line)
+			}
+			key = name + "{" + labels + "}"
+			rest = tail
+		}
+		rest = strings.TrimPrefix(rest, " ")
+		v, err := strconv.ParseFloat(strings.TrimSuffix(rest, " "), 64)
+		if err != nil {
+			t.Fatalf("bad value %q on line %q: %v", rest, line, err)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// parseLabels consumes `k="v",k2="v2"}` with exposition escaping inside
+// the quotes, returning the canonical decoded label string and what
+// follows the closing brace.
+func parseLabels(s string) (labels, tail string, ok bool) {
+	var parts []string
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return "", "", false
+		}
+		name := s[:eq]
+		if name == "" || strings.ContainsAny(name, `{}", `) {
+			return "", "", false
+		}
+		s = s[eq+2:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return "", "", false
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", "", false // unknown escape: reject
+				}
+				i++
+				continue
+			}
+			if c == '\n' {
+				return "", "", false // raw newline inside a value
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", "", false
+		}
+		parts = append(parts, name+"="+strconv.Quote(val.String()))
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return strings.Join(parts, ","), s[1:], true
+		}
+		return "", "", false
+	}
+}
+
+func TestPrometheusHostileLabelValues(t *testing.T) {
+	reg := NewRegistry()
+	hostile := map[string]string{
+		"quote":     `say "hi"`,
+		"backslash": `C:\logs\edge`,
+		"newline":   "line1\nline2",
+		"mixed":     "a\\\"b\nc",
+	}
+	for k, v := range hostile {
+		reg.Counter("hostile_total", "kind", k, "value", v).Add(1)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// No sample line may contain a raw (unescaped) newline inside a
+	// label value — every line must be a complete sample.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1") {
+			t.Errorf("broken sample line (value torn off by a raw newline?): %q", line)
+		}
+	}
+
+	// The strict parser must decode every hostile value back verbatim.
+	samples := parseExposition(t, out)
+	for k, v := range hostile {
+		key := fmt.Sprintf(`hostile_total{kind=%q,value=%s}`, k, strconv.Quote(v))
+		if got, ok := samples[key]; !ok || got != 1 {
+			t.Errorf("hostile label %q: sample %q not found (have %v)", k, key, keys(samples))
+		}
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestHistogramBucketsMonotonicUnderConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1, 1})
+
+	const goroutines, observes = 8, 2000
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			for i := 0; i < observes; i++ {
+				h.Observe(float64(i%1000) / 5000.0)
+			}
+		}(g)
+	}
+	start.Done()
+
+	// Scrape the real exposition while writers are running: every scrape
+	// must parse cleanly and its buckets must be cumulative in le with
+	// +Inf equal to the count — the invariants Prometheus relies on.
+	les := []string{"0.001", "0.01", "0.1", "1", "+Inf"}
+	for scrape := 0; scrape < 20; scrape++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		samples := parseExposition(t, sb.String())
+		var prev float64 = -1
+		for _, le := range les {
+			v, ok := samples[`lat_seconds_bucket{le=`+strconv.Quote(le)+`}`]
+			if !ok {
+				t.Fatalf("scrape %d: missing bucket le=%s", scrape, le)
+			}
+			if v < prev {
+				t.Fatalf("scrape %d: bucket le=%s = %v < previous %v (not cumulative)", scrape, le, v, prev)
+			}
+			prev = v
+		}
+		if prev != samples["lat_seconds_count"] {
+			t.Fatalf("scrape %d: +Inf bucket %v != count %v", scrape, prev, samples["lat_seconds_count"])
+		}
+	}
+	done.Wait()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if got := samples["lat_seconds_count"]; got != goroutines*observes {
+		t.Errorf("final count = %v, want %d", got, goroutines*observes)
+	}
+	if got := samples[`lat_seconds_bucket{le="+Inf"}`]; got != goroutines*observes {
+		t.Errorf("final +Inf bucket = %v, want %d", got, goroutines*observes)
+	}
+	snap := h.Snapshot()
+	if snap.Count != goroutines*observes {
+		t.Errorf("snapshot count = %d, want %d", snap.Count, goroutines*observes)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("edge_cache_hits_total", `hits; path="cached" only`)
+	reg.Counter("edge_cache_hits_total").Add(31)
+	reg.Gauge("queue_depth", "stage", "decode").Set(2.5)
+	reg.CounterFunc("derived_total", func() int64 { return 9 })
+	reg.GaugeFunc("ratio", func() float64 { return 0.75 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	want := map[string]float64{
+		"edge_cache_hits_total":       31,
+		`queue_depth{stage="decode"}`: 2.5,
+		"derived_total":               9,
+		"ratio":                       0.75,
+	}
+	for k, v := range want {
+		if got, ok := samples[k]; !ok || got != v {
+			t.Errorf("sample %q = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Config struct {
 	// synth_bytes_generated_total, so a scrape of a running generator
 	// shows its record rate.
 	Obs *obs.Registry
+	// Span, if non-nil, is the parent tracing span of this generation.
+	// Sharded generation opens one child span per shard under it (with
+	// shard index and request-budget attributes), so a trace export shows
+	// where generation wall time went. Single-goroutine generation adds
+	// no children — the parent span's own tallies cover it.
+	Span *obs.Span
 }
 
 // Validate reports the first problem with the configuration, or nil.

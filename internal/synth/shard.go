@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -65,7 +66,17 @@ func generateSharded(cfg Config, emit func(*logfmt.Record) error) error {
 		go func(s int, scfg Config) {
 			defer wg.Done()
 			defer st.close()
-			g := newGenerator(scfg, st.emit)
+			emit := st.emit
+			if ssp := cfg.Span.Child("shard " + itoa(s)); ssp != nil {
+				ssp.SetAttrs(obs.Int("shard", s), obs.Int("target_requests", scfg.TargetRequests))
+				defer ssp.End()
+				emit = func(r *logfmt.Record) error {
+					ssp.AddRecords(1)
+					ssp.AddBytes(r.Bytes)
+					return st.emit(r)
+				}
+			}
+			g := newGenerator(scfg, emit)
 			// The population RNG is re-pointed at the shard's own
 			// stream; universe and UA pools were already built from the
 			// base seed inside newGenerator, so they are identical
