@@ -5,13 +5,16 @@ BENCHCOUNT ?= 3
 BENCHBASE ?= BENCH_1.json
 BENCHOUT2 ?= BENCH_2.json
 MAXREGRESS ?= 0.20
+# Replay report folded into bench baselines when present (see slo-check).
+REPLAYREPORT ?= replay-slo.json
 # Pinned staticcheck, run via `go run` so no binary install is needed.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: ci vet lint build test race fuzz bench bench-check
+.PHONY: ci vet lint build test race fuzz bench bench-check slo-check
 
-# ci is the tier-1 gate: everything below, in order.
-ci: vet lint build test race fuzz
+# ci is the tier-1 gate: everything below, in order. slo-check runs last
+# so a latency regression fails CI only after the code itself is sound.
+ci: vet lint build test race fuzz slo-check
 
 vet:
 	$(GO) vet ./...
@@ -38,7 +41,7 @@ test:
 # bounded ingest pipeline, the sharded generator, and the parallel
 # experiment scheduler.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay
 
 # bench regenerates the persisted benchmark baseline (BENCH_1.json by
 # default; override with BENCHOUT=...). It runs every benchmark in the
@@ -46,7 +49,8 @@ race:
 # sequential-vs-parallel RunAll speedup. Regenerate on the machine you
 # care about — the file records GOMAXPROCS.
 bench:
-	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT)
+	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT) \
+		-replay $(REPLAYREPORT)
 
 # bench-check is the perf regression gate: re-run the suite, write
 # $(BENCHOUT2), and fail if any benchmark's mean ns/op regressed more
@@ -54,7 +58,16 @@ bench:
 # from the same machine — ns/op across machines is noise, not signal.
 bench-check:
 	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT2) \
-		-baseline $(BENCHBASE) -max-regress $(MAXREGRESS)
+		-baseline $(BENCHBASE) -max-regress $(MAXREGRESS) \
+		-replay $(REPLAYREPORT)
+
+# slo-check is the end-to-end latency gate: spin up the liveedge server
+# (faults off), replay a sharded synthetic stream against it open-loop,
+# and fail if the coordinated-omission-safe latency tail or the error
+# budget violates $(SLO). Gates CI the same way bench-check gates ns/op.
+# Tune with SLO/RATE/DURATION/WARMUP/SHARDS (see scripts/slo-check.sh).
+slo-check:
+	GO=$(GO) ./scripts/slo-check.sh
 
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.

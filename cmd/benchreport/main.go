@@ -13,6 +13,7 @@
 //
 //	go run ./cmd/benchreport -count 3 -out BENCH_1.json
 //	go run ./cmd/benchreport -benchtime 0.5s -bench 'RunAll' -out -
+//	go run ./cmd/benchreport -count 3 -replay replay-slo.json -out BENCH_1.json
 package main
 
 import (
@@ -26,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/replay"
 )
 
 // packages are the benchmark targets, in report order.
@@ -72,6 +75,26 @@ type Report struct {
 	// report (-baseline): one Delta per benchmark present in both.
 	Baseline string  `json:"baseline,omitempty"`
 	Deltas   []Delta `json:"deltas,omitempty"`
+
+	// Replay folds the headline numbers from a jsonreplay report
+	// (-replay), putting end-to-end load-harness results next to the
+	// micro-benchmarks in one baseline document.
+	Replay *ReplaySummary `json:"replay,omitempty"`
+}
+
+// ReplaySummary is the end-to-end slice of a replay report: throughput,
+// the coordinated-omission-safe tail, and the error budget.
+type ReplaySummary struct {
+	Source       string  `json:"source"`
+	RunID        string  `json:"run_id,omitempty"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	OfferedRPS   float64 `json:"offered_rps,omitempty"`
+	IntendedP50  float64 `json:"intended_p50_ms"`
+	IntendedP99  float64 `json:"intended_p99_ms"`
+	IntendedP999 float64 `json:"intended_p999_ms"`
+	ServiceP99   float64 `json:"service_p99_ms"`
+	ErrorRate    float64 `json:"error_rate"`
+	SLOPass      *bool   `json:"slo_pass,omitempty"`
 }
 
 func main() {
@@ -82,6 +105,7 @@ func main() {
 		out        = flag.String("out", "BENCH_1.json", "output file, or - for stdout")
 		baseline   = flag.String("baseline", "", "compare mean ns/op against this prior benchreport JSON and exit non-zero on regressions")
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression against -baseline (0.20 = 20% slower)")
+		replayPath = flag.String("replay", "", "fold the headline numbers from this jsonreplay report (replay-*.json) into the output; skipped with a notice if missing")
 	)
 	flag.Parse()
 	if *count < 1 {
@@ -125,6 +149,23 @@ func main() {
 	rep.RunAllParallelNs = par
 	if seq > 0 && par > 0 {
 		rep.RunAllSpeedup = seq / par
+	}
+
+	if *replayPath != "" {
+		sum, err := foldReplay(*replayPath)
+		switch {
+		case err != nil && os.IsNotExist(err):
+			// A missing replay report is advisory, not fatal: bench runs
+			// predate slo-check and must keep working without one.
+			fmt.Fprintf(os.Stderr, "benchreport: no replay report at %s; skipping fold\n", *replayPath)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "benchreport: replay: %v\n", err)
+			os.Exit(1)
+		default:
+			rep.Replay = sum
+			fmt.Fprintf(os.Stderr, "benchreport: folded %s (%.0f rps, intended p99 %.1fms, err %.2f%%)\n",
+				*replayPath, sum.AchievedRPS, sum.IntendedP99, sum.ErrorRate*100)
+		}
 	}
 
 	var basRep *Report
@@ -218,6 +259,38 @@ func trimProcSuffix(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// foldReplay reads a jsonreplay report and condenses it into the
+// ReplaySummary embedded in the bench baseline.
+func foldReplay(path string) (*ReplaySummary, error) {
+	rep, err := replay.ReadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	sum := &ReplaySummary{
+		Source:      path,
+		RunID:       rep.RunID,
+		AchievedRPS: rep.Throughput.AchievedRPS,
+		OfferedRPS:  rep.Throughput.OfferedRPS,
+		ErrorRate:   rep.Errors.Rate,
+	}
+	for _, row := range rep.Latency.Rows {
+		switch row.Quantile {
+		case 0.50:
+			sum.IntendedP50 = row.IntendedMs
+		case 0.99:
+			sum.IntendedP99 = row.IntendedMs
+			sum.ServiceP99 = row.ServiceMs
+		case 0.999:
+			sum.IntendedP999 = row.IntendedMs
+		}
+	}
+	if rep.SLO != nil {
+		pass := rep.SLO.Pass
+		sum.SLOPass = &pass
+	}
+	return sum, nil
 }
 
 // meanNs averages ns/op over every entry named name.

@@ -6,6 +6,7 @@
 //	jsongen -preset short -scale 0.002 -o logs.tsv.gz
 //	jsongen -preset long -seed 7 -o logs.jsonl
 //	jsongen -duration 2h -target 150000 -domains 40 -o pattern.tsv
+//	jsongen -preset short -scale 0.01 -shards 8 -o stream.tsv.gz
 //
 // The output format is inferred from the file extension (.tsv or .jsonl,
 // with optional .gz); "-" writes TSV to stdout.
@@ -30,6 +31,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "override capture window")
 		target   = flag.Int("target", 0, "override target record count")
 		domains  = flag.Int("domains", 0, "override domain count")
+		shards   = flag.Int("shards", 0, "generate with this many parallel shards (0/1 = sequential; deterministic per seed+shards)")
 		utcOff   = flag.Duration("utc-offset", 0, "vantage time-zone offset shifting the diurnal cycle (e.g. -8h, 9h)")
 		quiet    = flag.Bool("q", false, "suppress the summary line")
 	)
@@ -54,6 +56,7 @@ func main() {
 		cfg.Domains = *domains
 	}
 	cfg.UTCOffset = *utcOff
+	cfg.Shards = *shards
 
 	w, closeFn, err := openOutput(*out)
 	if err != nil {

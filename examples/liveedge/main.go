@@ -14,19 +14,32 @@
 //
 //	go run ./examples/liveedge
 //	go run ./examples/liveedge -fault-rate 0.3 -fault-seed 9
+//
+// With -serve the self-driving clients are replaced by an external
+// load source: the edge binds -listen (port 0 works), publishes its
+// URLs through -url-file once ready (the handshake `jsonreplay
+// -target-file` consumes), and serves until SIGINT/SIGTERM — how
+// `make slo-check` spins it up.
+//
+//	go run ./examples/liveedge -serve -listen 127.0.0.1:0 \
+//	    -url-file /tmp/edge.url -fault-rate 0
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	cdnjson "repro"
@@ -39,56 +52,139 @@ import (
 // client goroutine runs.
 var logger *obs.Logger
 
+// edgeStack bundles the wired server components so both run modes
+// share one construction path.
+type edgeStack struct {
+	edge    *cdnjson.HTTPEdge
+	faulty  *resilience.FaultyOrigin
+	origin  *resilience.ResilientOrigin
+	breaker *resilience.Breaker
+	reg     *obs.Registry
+	health  *obs.Health
+	mu      sync.Mutex
+	logs    []cdnjson.Record
+}
+
 func main() {
 	var (
 		faultRate = flag.Float64("fault-rate", 0.15, "probability an origin fetch fails (seeded, reproducible)")
 		faultSeed = flag.Uint64("fault-seed", 7, "seed for fault injection and backoff jitter")
+		serve     = flag.Bool("serve", false, "serve external traffic until SIGINT/SIGTERM instead of running the built-in clients")
+		listen    = flag.String("listen", "127.0.0.1:0", "edge listen address in -serve mode")
+		adminAddr = flag.String("admin", "127.0.0.1:0", "admin (metrics/readyz/pprof) listen address in -serve mode")
+		urlFile   = flag.String("url-file", "", "publish the edge and admin URLs to this file once ready (-serve mode handshake)")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), *faultSeed, nil).Component("liveedge")
 
-	var (
-		mu   sync.Mutex
-		logs []cdnjson.Record
-	)
-	faulty := &resilience.FaultyOrigin{
-		Inner:     &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond},
-		Seed:      *faultSeed,
-		ErrorRate: *faultRate,
+	st := buildEdgeStack(*faultRate, *faultSeed, *serve)
+	if *serve {
+		runServe(st, *listen, *adminAddr, *urlFile)
+		return
 	}
-	breaker := &resilience.Breaker{FailureThreshold: 5, OpenFor: 200 * time.Millisecond}
-	origin := &resilience.ResilientOrigin{
-		Inner:          faulty,
+	runSelfDriven(st)
+}
+
+// buildEdgeStack wires the cache, the faulty origin, and the full
+// resilience path, instrumented into one registry. In serve mode the
+// origin answers every path (WildcardOrigin), so replayed synthetic
+// streams see the real hit/miss mix instead of 404s.
+func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard bool) *edgeStack {
+	st := &edgeStack{}
+	var inner edge.Origin = &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond}
+	if wildcard {
+		inner = &edge.WildcardOrigin{Inner: inner, Latency: 2 * time.Millisecond}
+	}
+	st.faulty = &resilience.FaultyOrigin{
+		Inner:     inner,
+		Seed:      faultSeed,
+		ErrorRate: faultRate,
+	}
+	st.breaker = &resilience.Breaker{FailureThreshold: 5, OpenFor: 200 * time.Millisecond}
+	st.origin = &resilience.ResilientOrigin{
+		Inner:          st.faulty,
 		Retry:          resilience.Backoff{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond, Attempts: 3},
-		Breaker:        breaker,
+		Breaker:        st.breaker,
 		AttemptTimeout: time.Second,
-		Seed:           *faultSeed + 1,
+		Seed:           faultSeed + 1,
 	}
-	e := &cdnjson.HTTPEdge{
+	st.edge = &cdnjson.HTTPEdge{
 		Cache:      edgeCache(),
-		Origin:     origin,
+		Origin:     st.origin,
 		ServeStale: true,
-		Degraded:   origin.Degraded,
+		Degraded:   st.origin.Degraded,
 		Log: func(r *cdnjson.Record) {
-			mu.Lock()
-			logs = append(logs, *r)
-			mu.Unlock()
+			st.mu.Lock()
+			st.logs = append(st.logs, *r)
+			st.mu.Unlock()
 		},
 	}
-	reg := obs.NewRegistry()
-	e.Instrument(reg)
+	st.reg = obs.NewRegistry()
+	st.edge.Instrument(st.reg)
 	// A small retention window: a long-lived edge traces the most recent
 	// requests, not the whole history.
-	e.Trace = &obs.Trace{Limit: 64}
-	origin.Obs = resilience.NewInstrumentation(reg)
-	resilience.RegisterBreaker(reg, breaker)
-	health := &obs.Health{}
-	srv := httptest.NewServer(e)
+	st.edge.Trace = &obs.Trace{Limit: 64}
+	st.origin.Obs = resilience.NewInstrumentation(st.reg)
+	resilience.RegisterBreaker(st.reg, st.breaker)
+	st.health = &obs.Health{}
+	return st
+}
+
+// runServe is the harness-facing mode: bind real listeners, publish
+// URLs once ready, serve until a signal arrives, then report what was
+// served.
+func runServe(st *edgeStack, listen, adminAddr, urlFile string) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		logger.Error("listen failed", "addr", listen, "err", err)
+		os.Exit(1)
+	}
+	edgeURL := "http://" + ln.Addr().String()
+	srv := &http.Server{Handler: st.edge}
+	go srv.Serve(ln)
+
+	adminSrv, adminURL, err := obs.Serve(adminAddr, st.reg, st.health)
+	if err != nil {
+		logger.Error("admin listen failed", "addr", adminAddr, "err", err)
+		os.Exit(1)
+	}
+	// Both listeners are up and the origin path is wired: flip ready,
+	// THEN publish the URL file — the handshake's ordering contract.
+	st.health.SetReady(true)
+	if urlFile != "" {
+		if err := edge.WriteURLFile(urlFile, edgeURL, adminURL); err != nil {
+			logger.Error("publishing URL file", "path", urlFile, "err", err)
+			os.Exit(1)
+		}
+	}
+	logger.Info("edge serving", "url", edgeURL, "admin", adminURL, "url_file", urlFile)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	adminSrv.Close()
+
+	st.mu.Lock()
+	served := len(st.logs)
+	st.mu.Unlock()
+	logger.Info("edge stopped", "requests_served", served,
+		"origin_faults", st.faulty.Faults(), "breaker_opens", st.breaker.Opens())
+}
+
+// runSelfDriven is the original demo: built-in clients load the
+// manifest pattern, then the edge's own log is characterized.
+func runSelfDriven(st *edgeStack) {
+	srv := httptest.NewServer(st.edge)
 	defer srv.Close()
-	admin := httptest.NewServer(obs.AdminMux(reg, health))
+	admin := httptest.NewServer(obs.AdminMux(st.reg, st.health))
 	defer admin.Close()
 	// Both listeners are up and the origin path is wired: ready.
-	health.SetReady(true)
+	st.health.SetReady(true)
 	logger.Info("edge server listening", "url", srv.URL)
 	logger.Info("admin endpoints up", "metrics", admin.URL+"/metrics",
 		"readyz", admin.URL+"/readyz", "pprof", admin.URL+"/debug/pprof/")
@@ -124,8 +220,9 @@ func main() {
 	wg.Wait()
 
 	// Analyze the edge's own log.
-	mu.Lock()
-	defer mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	logs := st.logs
 	fmt.Printf("\nedge served %d requests; analyzing its log...\n\n", len(logs))
 	char := cdnjson.NewCharacterization()
 	var hits, cacheable int
@@ -149,10 +246,10 @@ func main() {
 			float64(hits)/float64(cacheable)*100, hits, cacheable)
 	}
 	fmt.Printf("origin faults absorbed: %d injected over %d fetches, %d retries, %d stale serves, %d breaker opens\n",
-		faulty.Faults(), faulty.Fetches(), origin.Obs.Retries.Value(),
-		e.Obs.StaleServes.Value(), breaker.Opens())
+		st.faulty.Faults(), st.faulty.Fetches(), st.origin.Obs.Retries.Value(),
+		st.edge.Obs.StaleServes.Value(), st.breaker.Opens())
 	fmt.Printf("request trace: %d spans retained (last %d requests), %d dropped by the retention window\n",
-		len(e.Trace.Spans()), e.Trace.Limit, e.Trace.Dropped())
+		len(st.edge.Trace.Spans()), st.edge.Trace.Limit, st.edge.Trace.Dropped())
 
 	// Scrape our own admin endpoint to show the zero-to-metrics path.
 	fmt.Printf("\nsample of %s/metrics:\n", admin.URL)

@@ -1,0 +1,101 @@
+package edge
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// This file is the readiness handshake between a serving liveedge
+// process and the load harness: the server binds its listeners (port 0
+// works), flips its readiness gate, and atomically publishes the
+// resulting URLs to a file; the harness waits for the file, reads the
+// target, and probes readiness before opening the traffic valve. That
+// ordering is what lets `make slo-check` start both processes
+// concurrently without a sleep-and-hope race.
+
+// WriteURLFile atomically publishes the given URLs (one per line,
+// conventionally edge first, admin second) to path via a same-
+// directory temp file and rename, so a polling reader never observes
+// a partial write.
+func WriteURLFile(path string, urls ...string) error {
+	if len(urls) == 0 {
+		return fmt.Errorf("edge: WriteURLFile needs at least one URL")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".url-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(strings.Join(urls, "\n") + "\n"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// AwaitURLFile polls until path exists with non-empty content or the
+// timeout (or ctx) expires, and returns the published URLs.
+func AwaitURLFile(ctx context.Context, path string, timeout time.Duration) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if data, err := os.ReadFile(path); err == nil {
+			var urls []string
+			for _, line := range strings.Split(string(data), "\n") {
+				if line = strings.TrimSpace(line); line != "" {
+					urls = append(urls, line)
+				}
+			}
+			if len(urls) > 0 {
+				return urls, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("edge: no URL published at %s: %w", path, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// AwaitReady polls probeURL (typically an admin /readyz endpoint)
+// until it answers 200 or the timeout (or ctx) expires.
+func AwaitReady(ctx context.Context, probeURL string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	client := &http.Client{Timeout: 2 * time.Second}
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("edge: %s never became ready (last: %v): %w", probeURL, lastErr, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}

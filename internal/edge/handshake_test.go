@@ -1,0 +1,119 @@
+package edge
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestURLFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edge.url")
+
+	// Reader starts first: AwaitURLFile must tolerate the file not
+	// existing yet.
+	type got struct {
+		urls []string
+		err  error
+	}
+	ch := make(chan got, 1)
+	go func() {
+		urls, err := AwaitURLFile(context.Background(), path, 2*time.Second)
+		ch <- got{urls, err}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	if err := WriteURLFile(path, "http://127.0.0.1:1234", "http://127.0.0.1:5678"); err != nil {
+		t.Fatal(err)
+	}
+	g := <-ch
+	if g.err != nil {
+		t.Fatal(g.err)
+	}
+	if len(g.urls) != 2 || g.urls[0] != "http://127.0.0.1:1234" || g.urls[1] != "http://127.0.0.1:5678" {
+		t.Fatalf("urls = %v", g.urls)
+	}
+
+	// No leftover temp files from the atomic write.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory not clean after atomic publish: %v", entries)
+	}
+}
+
+func TestWriteURLFileRejectsEmpty(t *testing.T) {
+	if err := WriteURLFile(filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("empty URL list accepted")
+	}
+}
+
+func TestAwaitURLFileTimeout(t *testing.T) {
+	_, err := AwaitURLFile(context.Background(), filepath.Join(t.TempDir(), "never"), 80*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestAwaitReady(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	// Flips ready after a few failed probes.
+	time.AfterFunc(80*time.Millisecond, func() { ready.Store(true) })
+	if err := AwaitReady(context.Background(), srv.URL, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ready.Store(false)
+	if err := AwaitReady(context.Background(), srv.URL, 100*time.Millisecond); err == nil {
+		t.Fatal("expected readiness timeout against a 503 endpoint")
+	}
+}
+
+func TestWildcardOrigin(t *testing.T) {
+	o := &WildcardOrigin{Inner: &JSONOrigin{Articles: 3}}
+
+	// Known paths pass through the inner origin untouched.
+	body, mime, cacheable, err := o.Fetch("/stories")
+	if err != nil || mime != "application/json" || !cacheable || len(body) == 0 {
+		t.Fatalf("inner passthrough: %q %v %v %v", mime, cacheable, len(body), err)
+	}
+
+	// Unknown paths synthesize a deterministic cacheable JSON body.
+	b1, mime, cacheable, err := o.Fetch("/v2/widgets/17")
+	if err != nil || mime != "application/json" || !cacheable {
+		t.Fatalf("synthesized: %q %v %v", mime, cacheable, err)
+	}
+	b2, _, _, _ := o.Fetch("/v2/widgets/17")
+	if string(b1) != string(b2) {
+		t.Error("same path produced different bodies")
+	}
+	b3, _, _, _ := o.Fetch("/v2/widgets/18")
+	if string(b1) == string(b3) {
+		t.Error("different paths produced identical bodies")
+	}
+	if len(b1) < 200 || len(b1) > 5000 {
+		t.Errorf("body size %d outside the paper's object band", len(b1))
+	}
+
+	// Telemetry and personalized prefixes stay uncacheable.
+	for _, path := range []string{"/ingest/metrics", "/profile/alice"} {
+		if _, _, cacheable, err := o.Fetch(path); err != nil || cacheable {
+			t.Errorf("%s: cacheable=%v err=%v, want uncacheable", path, cacheable, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package edge
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+)
+
+// WildcardOrigin answers every path, so replayed synthetic streams —
+// whose URLs the manifest-shaped JSONOrigin does not know — exercise
+// the full cache hit/miss/uncacheable mix instead of collapsing into
+// 404s. It first delegates to Inner (when set) and synthesizes a
+// deterministic JSON body for anything Inner rejects: the body size
+// and content derive from the path hash, so the same URL always
+// yields the same object, which is what gives repeated URLs their
+// cache hits.
+type WildcardOrigin struct {
+	// Inner, if non-nil, is consulted first; its successes pass
+	// through untouched.
+	Inner Origin
+	// Latency simulates origin round-trip delay per synthesized fetch
+	// (Inner applies its own).
+	Latency time.Duration
+}
+
+// Fetch implements Origin.
+func (o *WildcardOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	if o.Inner != nil {
+		if body, mime, cacheable, err := o.Inner.Fetch(path); err == nil {
+			return body, mime, cacheable, nil
+		}
+	}
+	if o.Latency > 0 {
+		time.Sleep(o.Latency)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	sum := h.Sum64()
+	// 200 B .. ~4 KiB, matching the paper's JSON-object size band.
+	size := 200 + int(sum%4096)
+	var b strings.Builder
+	b.Grow(size + 64)
+	fmt.Fprintf(&b, `{"path":%q,"object":"%016x","data":"`, path, sum)
+	for b.Len() < size {
+		fmt.Fprintf(&b, "%016x", sum)
+		sum = sum*0x100000001b3 + 0x9e3779b9
+	}
+	b.WriteString(`"}`)
+	// Telemetry and personalized paths stay uncacheable, mirroring the
+	// paper's uncacheable JSON share; everything else is cacheable.
+	cacheable := !strings.HasPrefix(path, "/ingest/") && !strings.HasPrefix(path, "/profile/")
+	return []byte(b.String()), "application/json", cacheable, nil
+}

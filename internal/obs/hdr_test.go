@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHDRIndexRoundTrip(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: int64(time.Hour), SigFigs: 2})
+	for _, v := range []int64{0, 1, 2, 100, 255, 256, 257, 1_000, 123_456,
+		int64(time.Millisecond), int64(time.Second), int64(37 * time.Second), int64(time.Hour)} {
+		i := h.countsIndex(v)
+		if i < 0 || i >= len(h.counts) {
+			t.Fatalf("countsIndex(%d) = %d out of [0,%d)", v, i, len(h.counts))
+		}
+		lo, hi := h.valueFromIndex(i), h.highestEquivalentFromIndex(i)
+		if v < lo || v > hi {
+			t.Errorf("value %d mapped to bucket [%d,%d]", v, lo, hi)
+		}
+	}
+}
+
+func TestHDRQuantileAccuracy(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 10_000_000, SigFigs: 3})
+	rng := rand.New(rand.NewSource(42))
+	values := make([]int64, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		// Log-uniform: exercises many orders of magnitude.
+		v := int64(math.Exp(rng.Float64() * math.Log(5_000_000)))
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(values)))) - 1
+		exact := values[idx]
+		got := h.Quantile(q)
+		if relErr := math.Abs(float64(got-exact)) / float64(exact); relErr > 0.01 {
+			t.Errorf("q%.3f: got %d want ~%d (rel err %.4f > 1%%)", q, got, exact, relErr)
+		}
+	}
+	if h.Quantile(1) != values[len(values)-1] {
+		t.Errorf("p100 = %d, want max %d", h.Quantile(1), values[len(values)-1])
+	}
+	if h.Min() != values[0] {
+		t.Errorf("min = %d, want %d", h.Min(), values[0])
+	}
+}
+
+func TestHDRClampAndEmpty(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 1000, SigFigs: 2})
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Record(-5)
+	h.Record(5_000_000)
+	if h.Clamped() != 1 {
+		t.Errorf("clamped = %d, want 1", h.Clamped())
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("clamped max quantile = %d, want 1000", got)
+	}
+}
+
+func TestHDRMerge(t *testing.T) {
+	cfg := HDRConfig{Lowest: 1, Highest: 1_000_000, SigFigs: 2}
+	a, b := NewHDRHistogram(cfg), NewHDRHistogram(cfg)
+	for i := int64(1); i <= 1000; i++ {
+		a.Record(i)
+		b.Record(i * 100)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != b.Max() {
+		t.Errorf("merged max = %d, want %d", a.Max(), b.Max())
+	}
+	if a.Min() != 1 {
+		t.Errorf("merged min = %d, want 1", a.Min())
+	}
+	// Median of the union {1..1000} ∪ {100, 200, ..., 100000}: the
+	// 1000th sorted value is 991 (991 values from the first set plus 9
+	// multiples of 100 below it).
+	if q := a.Quantile(0.5); q < 950 || q > 1050 {
+		t.Errorf("merged median = %d, want ~991", q)
+	}
+	bad := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 999_999, SigFigs: 2})
+	if err := a.Merge(bad); err == nil {
+		t.Error("config mismatch merge accepted")
+	}
+}
+
+func TestHDRSnapshotRoundTrip(t *testing.T) {
+	h := NewHDRHistogram(LatencyHDRConfig())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		h.RecordDuration(time.Duration(rng.Intn(200_000_000)))
+	}
+	h.Record(int64(time.Hour)) // clamped
+
+	snap := h.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded HDRSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromHDRSnapshot(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Max() != h.Max() || back.Min() != h.Min() ||
+		back.Sum() != h.Sum() || back.Clamped() != h.Clamped() {
+		t.Fatalf("round trip lost stats: %+v vs source count=%d", back.Snapshot(), h.Count())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q%.3f: %d != %d after round trip", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+
+	if _, err := FromHDRSnapshot(HDRSnapshot{Lowest: 1, Highest: 1000, SigFigs: 2,
+		Buckets: [][2]int64{{999999, 1}}}); err == nil {
+		t.Error("out-of-range bucket accepted")
+	}
+}
+
+func TestHDRConcurrentRecord(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 1_000_000, SigFigs: 2})
+	var wg sync.WaitGroup
+	const workers, per = 8, 10_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() != 1 || h.Max() < workers*per-1 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHDRPrometheusSummaryExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HDR("replay_latency_seconds", LatencyHDRConfig(), "kind", "intended")
+	for i := 0; i < 1000; i++ {
+		h.RecordDuration(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE replay_latency_seconds summary",
+		`replay_latency_seconds{kind="intended",quantile="0.5"}`,
+		`replay_latency_seconds{kind="intended",quantile="0.999"}`,
+		`replay_latency_seconds_count{kind="intended"} 1000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Unit 1e-9 converts ns to seconds: the p50 sample must be ~0.5.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `quantile="0.5"`) {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if v < 0.45 || v > 0.55 {
+				t.Errorf("p50 = %v s, want ~0.5", v)
+			}
+		}
+	}
+	// Same name and labels resolves to the same histogram.
+	if reg.HDR("replay_latency_seconds", HDRConfig{}, "kind", "intended") != h {
+		t.Error("HDR get-or-create returned a different histogram")
+	}
+}

@@ -42,6 +42,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(bw, f.name, "", s.labels, "", formatFloat(s.g.Value()))
 			case s.gfn != nil:
 				writeSample(bw, f.name, "", s.labels, "", formatFloat(s.gfn()))
+			case s.hdr != nil:
+				unit := s.hdr.Config().Unit
+				for _, row := range s.hdr.Percentiles() {
+					writeQuantileSample(bw, f.name, s.labels,
+						formatFloat(row.Quantile), formatFloat(float64(row.Value)*unit))
+				}
+				writeSample(bw, f.name, "_sum", s.labels, "", formatFloat(float64(s.hdr.Sum())*unit))
+				writeSample(bw, f.name, "_count", s.labels, "", strconv.FormatInt(s.hdr.Count(), 10))
 			case s.h != nil:
 				snap := s.h.Snapshot()
 				var cum int64
@@ -57,6 +65,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// writeQuantileSample emits one summary sample:
+// name{labels[,]quantile="q"} value.
+func writeQuantileSample(bw *bufio.Writer, name string, labels []string, q, value string) {
+	bw.WriteString(name)
+	bw.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		bw.WriteString(labels[i])
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(labels[i+1]))
+		bw.WriteString(`",`)
+	}
+	bw.WriteString(`quantile="`)
+	bw.WriteString(q)
+	bw.WriteString(`"} `)
+	bw.WriteString(value)
+	bw.WriteByte('\n')
 }
 
 // writeSample emits one sample line: name[suffix]{labels[,le="le"]} value.

@@ -14,6 +14,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindSummary
 )
 
 func (k metricKind) String() string {
@@ -22,6 +23,8 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindSummary:
+		return "summary"
 	default:
 		return "histogram"
 	}
@@ -34,6 +37,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	hdr    *HDRHistogram
 	cfn    func() int64
 	gfn    func() float64
 }
@@ -125,6 +129,19 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 		return &series{h: newHistogram(bounds)}
 	})
 	return s.h
+}
+
+// HDR returns the HDRHistogram with the given name and label pairs,
+// creating it with cfg on first use (cfg passed on later calls for an
+// existing histogram is ignored). It is exposed as a Prometheus
+// summary: one {quantile="..."} series per default quantile, plus
+// _sum and _count, all scaled by cfg.Unit — the honest way to publish
+// a many-thousand-bucket HDR without a bucket series explosion.
+func (r *Registry) HDR(name string, cfg HDRConfig, labels ...string) *HDRHistogram {
+	s := r.getOrCreate(name, kindSummary, nil, labels, func() *series {
+		return &series{hdr: NewHDRHistogram(cfg)}
+	})
+	return s.hdr
 }
 
 // CounterFunc registers a counter whose value is pulled from fn at

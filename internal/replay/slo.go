@@ -1,0 +1,221 @@
+package replay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is a parsed service-level-objective expression: a conjunction of
+// comma-separated clauses like "p99<50ms,err<1%,rps>500". Latency
+// clauses are evaluated against the coordinated-omission-safe
+// (intended-start) distribution — gating on the naive one would defeat
+// the harness.
+//
+// Grammar per clause: METRIC OP VALUE, where METRIC is pNN / pNNN
+// (p50, p95, p99, p999 = 99.9th, ...), "mean", "max", "err", or
+// "rps"; OP is one of < <= > >=; VALUE is a Go duration for latency
+// metrics (50ms, 1.5s), a percentage or fraction for err (1% or
+// 0.01), and a plain number for rps.
+type SLO struct {
+	Expr    string
+	Clauses []SLOClause
+}
+
+// sloKind discriminates what a clause measures.
+type sloKind uint8
+
+const (
+	sloLatency sloKind = iota // quantile/mean/max of intended latency
+	sloErr                    // transport error fraction
+	sloRPS                    // achieved requests per second
+)
+
+// SLOClause is one comparison.
+type SLOClause struct {
+	Raw      string
+	kind     sloKind
+	quantile float64 // for sloLatency: 0..1, or the mean/max sentinels
+	op       string
+	// threshold in base units: seconds of latency, error fraction, or
+	// requests per second.
+	threshold float64
+}
+
+// Sentinel quantiles for the non-percentile latency metrics.
+const (
+	quantileMean = -1.0
+	quantileMax  = 2.0
+)
+
+// ParseSLO parses an SLO expression; an empty expression yields a nil
+// SLO (no gate).
+func ParseSLO(expr string) (*SLO, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return nil, nil
+	}
+	slo := &SLO{Expr: expr}
+	for _, part := range strings.Split(expr, ",") {
+		raw := strings.TrimSpace(part)
+		if raw == "" {
+			continue
+		}
+		clause, err := parseClause(raw)
+		if err != nil {
+			return nil, fmt.Errorf("slo clause %q: %w", raw, err)
+		}
+		slo.Clauses = append(slo.Clauses, clause)
+	}
+	if len(slo.Clauses) == 0 {
+		return nil, fmt.Errorf("slo %q: no clauses", expr)
+	}
+	return slo, nil
+}
+
+func parseClause(raw string) (SLOClause, error) {
+	c := SLOClause{Raw: raw}
+	opIdx := strings.IndexAny(raw, "<>")
+	if opIdx < 0 {
+		return c, fmt.Errorf("no comparison operator (want < <= > >=)")
+	}
+	c.op = string(raw[opIdx])
+	rest := raw[opIdx+1:]
+	if strings.HasPrefix(rest, "=") {
+		c.op += "="
+		rest = rest[1:]
+	}
+	metric := strings.ToLower(strings.TrimSpace(raw[:opIdx]))
+	value := strings.TrimSpace(rest)
+	if metric == "" || value == "" {
+		return c, fmt.Errorf("want METRIC OP VALUE")
+	}
+
+	switch {
+	case metric == "err":
+		c.kind = sloErr
+		frac, err := parseFraction(value)
+		if err != nil {
+			return c, err
+		}
+		c.threshold = frac
+	case metric == "rps":
+		c.kind = sloRPS
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return c, fmt.Errorf("rps threshold %q: %w", value, err)
+		}
+		c.threshold = v
+	case metric == "mean", metric == "max":
+		c.kind = sloLatency
+		if metric == "mean" {
+			c.quantile = quantileMean
+		} else {
+			c.quantile = quantileMax
+		}
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return c, fmt.Errorf("latency threshold %q: %w", value, err)
+		}
+		c.threshold = d.Seconds()
+	case strings.HasPrefix(metric, "p"):
+		c.kind = sloLatency
+		pct, err := parsePercentile(metric[1:])
+		if err != nil {
+			return c, err
+		}
+		c.quantile = pct / 100
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return c, fmt.Errorf("latency threshold %q: %w", value, err)
+		}
+		c.threshold = d.Seconds()
+	default:
+		return c, fmt.Errorf("unknown metric %q (want pNN, mean, max, err, rps)", metric)
+	}
+	return c, nil
+}
+
+// parsePercentile maps the digits after "p" to a percentile: "50" is
+// the 50th, "999" the 99.9th, "9999" the 99.99th, and an explicit
+// "99.9" works too.
+func parsePercentile(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("percentile %q: want digits like p50, p99, p999", s)
+	}
+	for v > 100 {
+		v /= 10
+	}
+	return v, nil
+}
+
+// parseFraction accepts "1%" (-> 0.01) or a plain fraction "0.01".
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("error budget %q: want a percentage like 1%% or a fraction", s)
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}
+
+// compare applies the clause operator.
+func (c SLOClause) compare(actual float64) bool {
+	switch c.op {
+	case "<":
+		return actual < c.threshold
+	case "<=":
+		return actual <= c.threshold
+	case ">":
+		return actual > c.threshold
+	case ">=":
+		return actual >= c.threshold
+	}
+	return false
+}
+
+// actual extracts the clause's measured value from a result.
+func (c SLOClause) actual(res *Result) (value float64, display string) {
+	switch c.kind {
+	case sloErr:
+		v := res.ErrorRate()
+		return v, fmt.Sprintf("%.2f%%", v*100)
+	case sloRPS:
+		v := res.AchievedRPS()
+		return v, fmt.Sprintf("%.0f req/s", v)
+	default:
+		var ns int64
+		switch c.quantile {
+		case quantileMean:
+			ns = int64(res.Latency.Mean())
+		case quantileMax:
+			ns = res.Latency.Max()
+		default:
+			ns = res.Latency.Quantile(c.quantile)
+		}
+		v := float64(ns) / 1e9
+		return v, fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	}
+}
+
+// Eval checks every clause against the result and returns one
+// human-readable violation per failed clause (empty = SLO met). A nil
+// SLO always passes.
+func (s *SLO) Eval(res *Result) []string {
+	if s == nil {
+		return nil
+	}
+	var violations []string
+	for _, c := range s.Clauses {
+		actual, display := c.actual(res)
+		if !c.compare(actual) {
+			violations = append(violations, fmt.Sprintf("%s violated: actual %s", c.Raw, display))
+		}
+	}
+	return violations
+}

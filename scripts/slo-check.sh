@@ -1,0 +1,61 @@
+#!/bin/sh
+# slo-check: end-to-end latency gate. Builds the liveedge server and the
+# load tools, starts the edge on a loopback port with fault injection
+# off, replays a sharded synthetic stream against it open-loop, and
+# fails the build if the intended-start (coordinated-omission-safe)
+# latency distribution or the error budget violates $SLO.
+#
+# Tunables (environment):
+#   SLO      gate expression          (default "p99<250ms,err<1%")
+#   RATE     offered load in req/s    (default 400)
+#   DURATION total replay time        (default 6s)
+#   WARMUP   excluded leading window  (default 2s)
+#   SHARDS   jsongen generator shards (default 4)
+#   OUT      replay report path       (default replay-slo.json)
+set -eu
+
+SLO="${SLO:-p99<250ms,err<1%}"
+RATE="${RATE:-400}"
+DURATION="${DURATION:-6s}"
+WARMUP="${WARMUP:-2s}"
+SHARDS="${SHARDS:-4}"
+OUT="${OUT:-replay-slo.json}"
+GO="${GO:-go}"
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+edge_pid=""
+cleanup() {
+    [ -n "$edge_pid" ] && kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "slo-check: building liveedge, jsongen, jsonreplay"
+"$GO" build -o "$work/liveedge" ./examples/liveedge
+"$GO" build -o "$work/jsongen" ./cmd/jsongen
+"$GO" build -o "$work/jsonreplay" ./cmd/jsonreplay
+
+echo "slo-check: generating sharded synthetic stream ($SHARDS shards)"
+"$work/jsongen" -preset short -scale 0.005 -shards "$SHARDS" -q -o "$work/stream.tsv.gz"
+
+# Start the edge with faults off; it binds port 0 and publishes its URLs
+# once ready. The replayer waits on the URL file and probes /readyz, so
+# there is no sleep-and-hope between the two processes.
+"$work/liveedge" -serve -fault-rate 0 -url-file "$work/edge.url" 2>"$work/edge.log" &
+edge_pid=$!
+
+echo "slo-check: replaying at ${RATE} req/s for ${DURATION} (warmup ${WARMUP}), gating on \"$SLO\""
+"$work/jsonreplay" -i "$work/stream.tsv.gz" -target-file "$work/edge.url" \
+    -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+    -slo "$SLO" -out "$OUT" || {
+    status=$?
+    echo "slo-check: FAILED (jsonreplay exit $status); edge log follows" >&2
+    cat "$work/edge.log" >&2
+    exit "$status"
+}
+
+kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null || true
+edge_pid=""
+echo "slo-check: PASS (report: $OUT)"
