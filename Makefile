@@ -10,11 +10,12 @@ REPLAYREPORT ?= replay-slo.json
 # Pinned staticcheck, run via `go run` so no binary install is needed.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: ci vet lint build test race fuzz bench bench-check slo-check
+.PHONY: ci vet lint build test race fuzz bench bench-check slo-check attack-check
 
-# ci is the tier-1 gate: everything below, in order. slo-check runs last
-# so a latency regression fails CI only after the code itself is sound.
-ci: vet lint build test race fuzz slo-check
+# ci is the tier-1 gate: everything below, in order. The end-to-end
+# gates run last — slo-check (latency) then attack-check (adversarial
+# robustness) — so they only fail CI after the code itself is sound.
+ci: vet lint build test race fuzz slo-check attack-check
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +42,7 @@ test:
 # bounded ingest pipeline, the sharded generator, and the parallel
 # experiment scheduler.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/defend ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay
 
 # bench regenerates the persisted benchmark baseline (BENCH_1.json by
 # default; override with BENCHOUT=...). It runs every benchmark in the
@@ -69,6 +70,16 @@ bench-check:
 slo-check:
 	GO=$(GO) ./scripts/slo-check.sh
 
+# attack-check is the adversarial-robustness gate: replay a labeled
+# attack stream (cache-busting, flash crowd, bots, amplification)
+# against a liveedge with defenses off and on, and fail unless the
+# defended edge bounds attack-attributed origin amplification under
+# $(AMP_CEILING) while benign traffic through the defenses still meets
+# $(SLO). Tune with AMP_CEILING/MIN_UNDEFENDED/SPEED/SLO/SEED (see
+# scripts/attack-check.sh).
+attack-check:
+	GO=$(GO) ./scripts/attack-check.sh
+
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.
 fuzz:
@@ -76,3 +87,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME) ./internal/logfmt
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalJSONLine -fuzztime=$(FUZZTIME) ./internal/logfmt
 	$(GO) test -run=^$$ -fuzz=FuzzTolerantReader -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run=^$$ -fuzz=FuzzParseSLO -fuzztime=$(FUZZTIME) ./internal/replay

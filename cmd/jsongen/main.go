@@ -34,6 +34,14 @@ func main() {
 		shards   = flag.Int("shards", 0, "generate with this many parallel shards (0/1 = sequential; deterministic per seed+shards)")
 		utcOff   = flag.Duration("utc-offset", 0, "vantage time-zone offset shifting the diurnal cycle (e.g. -8h, 9h)")
 		quiet    = flag.Bool("q", false, "suppress the summary line")
+
+		atkBust     = flag.Float64("attack-bust", 0, "cache-busting storm share of -target overlaid on the benign stream")
+		atkFlash    = flag.Float64("attack-flash", 0, "flash-crowd share of -target overlaid on the benign stream")
+		atkBots     = flag.Float64("attack-bots", 0, "spoofed-UA bot-flood share of -target overlaid on the benign stream")
+		atkAmplify  = flag.Float64("attack-amplify", 0, "conversion-amplification share of -target overlaid on the benign stream")
+		atkStart    = flag.Duration("attack-start", 0, "attack window offset from capture start (benign baseline first)")
+		atkDuration = flag.Duration("attack-duration", 0, "attack window length (0 runs to capture end)")
+		atkObjects  = flag.Int("attack-flash-objects", 0, "hot objects the flash crowd converges on (0 = default)")
 	)
 	flag.Parse()
 
@@ -57,6 +65,18 @@ func main() {
 	}
 	cfg.UTCOffset = *utcOff
 	cfg.Shards = *shards
+	cfg.Attack = synth.AttackConfig{
+		CacheBustShare: *atkBust,
+		FlashShare:     *atkFlash,
+		BotShare:       *atkBots,
+		AmplifyShare:   *atkAmplify,
+		FlashObjects:   *atkObjects,
+		Start:          *atkStart,
+		Duration:       *atkDuration,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
+	}
 
 	w, closeFn, err := openOutput(*out)
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	cdnjson "repro"
+	"repro/internal/defend"
 	"repro/internal/edge"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -55,14 +56,15 @@ var logger *obs.Logger
 // edgeStack bundles the wired server components so both run modes
 // share one construction path.
 type edgeStack struct {
-	edge    *cdnjson.HTTPEdge
-	faulty  *resilience.FaultyOrigin
-	origin  *resilience.ResilientOrigin
-	breaker *resilience.Breaker
-	reg     *obs.Registry
-	health  *obs.Health
-	mu      sync.Mutex
-	logs    []cdnjson.Record
+	edge     *cdnjson.HTTPEdge
+	faulty   *resilience.FaultyOrigin
+	origin   *resilience.ResilientOrigin
+	breaker  *resilience.Breaker
+	defender *defend.Defender
+	reg      *obs.Registry
+	health   *obs.Health
+	mu       sync.Mutex
+	logs     []cdnjson.Record
 }
 
 func main() {
@@ -73,11 +75,12 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "edge listen address in -serve mode")
 		adminAddr = flag.String("admin", "127.0.0.1:0", "admin (metrics/readyz/pprof) listen address in -serve mode")
 		urlFile   = flag.String("url-file", "", "publish the edge and admin URLs to this file once ready (-serve mode handshake)")
+		defendOn  = flag.Bool("defend", false, "enable the detect-and-defend admission loop (rate limits, cache-key collapse, negative caching, abuser shedding)")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), *faultSeed, nil).Component("liveedge")
 
-	st := buildEdgeStack(*faultRate, *faultSeed, *serve)
+	st := buildEdgeStack(*faultRate, *faultSeed, *serve, *defendOn)
 	if *serve {
 		runServe(st, *listen, *adminAddr, *urlFile)
 		return
@@ -88,8 +91,10 @@ func main() {
 // buildEdgeStack wires the cache, the faulty origin, and the full
 // resilience path, instrumented into one registry. In serve mode the
 // origin answers every path (WildcardOrigin), so replayed synthetic
-// streams see the real hit/miss mix instead of 404s.
-func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard bool) *edgeStack {
+// streams see the real hit/miss mix instead of 404s. With defended set
+// the detect-and-defend admission loop fronts the cache, keying client
+// state on the X-Client-Id header jsonreplay forwards.
+func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard, defended bool) *edgeStack {
 	st := &edgeStack{}
 	var inner edge.Origin = &edge.JSONOrigin{Articles: 40, Latency: 2 * time.Millisecond}
 	if wildcard {
@@ -121,6 +126,11 @@ func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard bool) *edgeSta
 	}
 	st.reg = obs.NewRegistry()
 	st.edge.Instrument(st.reg)
+	if defended {
+		st.defender = defend.New(defend.Config{ClientIDHeader: "X-Client-Id"})
+		st.defender.Instrument(st.reg)
+		st.edge.Defend = st.defender
+	}
 	// A small retention window: a long-lived edge traces the most recent
 	// requests, not the whole history.
 	st.edge.Trace = &obs.Trace{Limit: 64}

@@ -1,0 +1,82 @@
+package defend
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Instrumentation holds the pre-resolved defense metrics a Defender
+// reports into, mirroring edge.Instrumentation's pattern so the
+// admission hot path pays no registry lookups.
+type Instrumentation struct {
+	// ShedAbuser / ShedClientRate / ShedClassRate count rejections into
+	// defend_sheds_total{reason=...}.
+	ShedAbuser     *obs.Counter
+	ShedClientRate *obs.Counter
+	ShedClassRate  *obs.Counter
+	// NegativeHits counts requests answered from the negative cache;
+	// NegativeStores counts keys entering it.
+	NegativeHits   *obs.Counter
+	NegativeStores *obs.Counter
+	// Collapsed counts requests whose cache key was collapsed;
+	// CollapsedBases counts base objects entering the collapsed state.
+	Collapsed      *obs.Counter
+	CollapsedBases *obs.Counter
+	// AnomalousRequest / AnomalousPeriod / FanOutFlags count detector
+	// verdicts into defend_anomalies_total{detector=...}.
+	AnomalousRequest *obs.Counter
+	AnomalousPeriod  *obs.Counter
+	FanOutFlags      *obs.Counter
+	// Decision is the per-request Admit decision latency
+	// (defend_decision_seconds) — the defense's own cost, so its
+	// latency impact on the serving path is directly scrapeable.
+	Decision *obs.HDRHistogram
+}
+
+// NewInstrumentation registers the Defender metrics in reg and returns
+// them; calling it twice with the same registry returns the same
+// underlying metrics.
+func NewInstrumentation(reg *obs.Registry) *Instrumentation {
+	reg.Help("defend_sheds_total", "Requests rejected at the edge by the defense, by reason.")
+	reg.Help("defend_negative_hits_total", "Requests answered from the negative cache.")
+	reg.Help("defend_negative_stores_total", "Keys entering the negative cache.")
+	reg.Help("defend_collapsed_total", "Requests whose cache key was collapsed onto the base object.")
+	reg.Help("defend_collapsed_bases_total", "Base objects entering the collapsed state.")
+	reg.Help("defend_anomalies_total", "Detector verdicts feeding suspicion, by detector.")
+	reg.Help("defend_decision_seconds", "Admission decision latency of the defense itself.")
+	return &Instrumentation{
+		ShedAbuser:     reg.Counter("defend_sheds_total", "reason", "abuser"),
+		ShedClientRate: reg.Counter("defend_sheds_total", "reason", "client-rate"),
+		ShedClassRate:  reg.Counter("defend_sheds_total", "reason", "class-rate"),
+		NegativeHits:   reg.Counter("defend_negative_hits_total"),
+		NegativeStores: reg.Counter("defend_negative_stores_total"),
+		Collapsed:      reg.Counter("defend_collapsed_total"),
+		CollapsedBases: reg.Counter("defend_collapsed_bases_total"),
+		AnomalousRequest: reg.Counter("defend_anomalies_total",
+			"detector", "request"),
+		AnomalousPeriod: reg.Counter("defend_anomalies_total",
+			"detector", "period"),
+		FanOutFlags: reg.Counter("defend_anomalies_total",
+			"detector", "fanout"),
+		Decision: reg.HDR("defend_decision_seconds", obs.HDRConfig{
+			Lowest: 100, Highest: int64(time.Second), SigFigs: 2, Unit: 1e-9,
+		}),
+	}
+}
+
+// Instrument wires the defender into reg: decision counters and latency
+// via NewInstrumentation, plus pull-style gauges for the current abuser
+// count and negative-cache occupancy. It returns the instrumentation it
+// installed on d.
+func (d *Defender) Instrument(reg *obs.Registry) *Instrumentation {
+	d.obs = NewInstrumentation(reg)
+	reg.Help("defend_abusers", "Clients currently at or above the suspicion limit.")
+	reg.GaugeFunc("defend_abusers", func() float64 {
+		return float64(d.Abusers(time.Now()))
+	})
+	reg.GaugeFunc("defend_negative_entries", func() float64 {
+		return float64(d.NegativeEntries())
+	})
+	return d.obs
+}

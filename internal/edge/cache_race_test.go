@@ -1,0 +1,56 @@
+package edge
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCacheNegativeChurnRace hammers LookupWithStale/Insert/Lookup from
+// many goroutines over a small shared key set with TTLs expiring
+// mid-run — the access pattern of a negative cache absorbing a
+// hammered-miss storm while the serving path reads the same shards.
+// It asserts nothing beyond internal invariants; its value is running
+// under `make race`.
+func TestCacheNegativeChurnRace(t *testing.T) {
+	c := NewCache(1<<14, 10*time.Millisecond, 4)
+	keys := []string{"neg:a", "neg:b", "neg:c", "neg:d", "neg:e", "neg:f"}
+	base := time.Now()
+	const workers = 8
+	const iters = 3000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Advance time past the TTL periodically so expiry,
+				// stale retention, and eviction all race with inserts.
+				now := base.Add(time.Duration(i%40) * time.Millisecond)
+				k := keys[(i+w)%len(keys)]
+				switch (i + w) % 3 {
+				case 0:
+					c.Insert(k, int64(100+i%500), now, false)
+				case 1:
+					hit, stale := c.LookupWithStale(k, now)
+					if hit && stale {
+						t.Error("LookupWithStale returned hit and stale together")
+						return
+					}
+				default:
+					c.Lookup(k, now)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if m.Hits+m.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if c.Bytes() < 0 {
+		t.Fatalf("negative byte accounting: %d", c.Bytes())
+	}
+}

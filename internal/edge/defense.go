@@ -1,0 +1,53 @@
+package edge
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+// DefenseAction is a Defense's verdict on one request, consulted by
+// HTTPEdge.ServeHTTP before any cache or origin work.
+type DefenseAction struct {
+	// Reject sheds the request at the edge with 429 Too Many Requests —
+	// no cache lookup, no origin fetch, no amplification.
+	Reject bool
+	// RetryAfter is the Retry-After header value in seconds for a
+	// rejected request (0 omits the header).
+	RetryAfter int
+	// Negative serves a remembered error response (negative cache hit):
+	// the edge answers NegStatus/NegBody without consulting the origin,
+	// absorbing hammered-miss storms on keys known to fail.
+	Negative bool
+	// NegStatus is the status of the negative response (default 404).
+	NegStatus int
+	// NegBody is the negative response body.
+	NegBody []byte
+	// NegMIME is the negative response content type (default
+	// application/json).
+	NegMIME string
+	// CollapseKey, when non-empty, replaces the request's cache key —
+	// the cache-key canonicalization defense: once a base object is
+	// detected under a cache-busting query storm, all its query
+	// variants collapse onto the base key, so the storm turns into
+	// cache hits instead of origin fetches.
+	CollapseKey string
+}
+
+// Defense is an online request-admission policy plugged into HTTPEdge.
+// Implementations decide per request (rate limits, abuse scores,
+// negative caches) and observe each admitted request's outcome to
+// update their detectors. internal/defend provides the standard
+// implementation. Implementations must be safe for concurrent use when
+// the edge serves concurrent traffic.
+type Defense interface {
+	// Admit is called before any cache or origin work, with the edge's
+	// current time. The zero DefenseAction admits the request normally.
+	Admit(now time.Time, r *http.Request) DefenseAction
+	// RecordOutcome is called for every admitted request once its cache
+	// disposition and final status are known; rejected and
+	// negative-cached requests do not reach it. Detectors use it to
+	// learn miss storms and per-client behavior.
+	RecordOutcome(now time.Time, r *http.Request, cache logfmt.CacheStatus, status int)
+}

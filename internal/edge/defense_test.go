@@ -1,0 +1,171 @@
+package edge
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+// TestWildcardOriginQueryVariants: distinct query strings are distinct
+// objects (the satellite fix), while the same full URL stays
+// deterministic and cacheability ignores the query.
+func TestWildcardOriginQueryVariants(t *testing.T) {
+	o := &WildcardOrigin{}
+	a1, _, c1, err := o.Fetch("/v1/article/1001?cb=aaaa")
+	if err != nil || !c1 {
+		t.Fatalf("variant fetch: err=%v cacheable=%v", err, c1)
+	}
+	a2, _, _, _ := o.Fetch("/v1/article/1001?cb=bbbb")
+	if string(a1) == string(a2) {
+		t.Error("query variants collided on path: identical bodies")
+	}
+	a1b, _, _, _ := o.Fetch("/v1/article/1001?cb=aaaa")
+	if string(a1) != string(a1b) {
+		t.Error("same full URL not deterministic")
+	}
+	if _, _, cacheable, _ := o.Fetch("/ingest/ch1?cb=x"); cacheable {
+		t.Error("/ingest/ with query became cacheable")
+	}
+	if _, _, cacheable, _ := o.Fetch("/v1/x?u=/profile/evil"); !cacheable {
+		t.Error("query content changed cacheability of a cacheable path")
+	}
+}
+
+// recordingOrigin captures the paths the edge fetches.
+type recordingOrigin struct {
+	paths []string
+	inner Origin
+}
+
+func (o *recordingOrigin) Fetch(path string) ([]byte, string, bool, error) {
+	o.paths = append(o.paths, path)
+	return o.inner.Fetch(path)
+}
+
+// TestEdgePassesQueryToOrigin: the edge forwards path?query, so origins
+// can serve per-variant objects.
+func TestEdgePassesQueryToOrigin(t *testing.T) {
+	o := &recordingOrigin{inner: &WildcardOrigin{}}
+	e := &HTTPEdge{Cache: NewCache(1<<20, time.Minute, 4), Origin: o}
+	req := httptest.NewRequest("GET", "http://x.test/v1/item/1?cb=zz", nil)
+	e.ServeHTTP(httptest.NewRecorder(), req)
+	if len(o.paths) != 1 || o.paths[0] != "/v1/item/1?cb=zz" {
+		t.Fatalf("origin saw %v, want [/v1/item/1?cb=zz]", o.paths)
+	}
+}
+
+// scriptedDefense returns canned actions and records outcomes.
+type scriptedDefense struct {
+	act      DefenseAction
+	admitted int
+	outcomes []logfmt.CacheStatus
+}
+
+func (d *scriptedDefense) Admit(now time.Time, r *http.Request) DefenseAction {
+	d.admitted++
+	return d.act
+}
+
+func (d *scriptedDefense) RecordOutcome(now time.Time, r *http.Request, cache logfmt.CacheStatus, status int) {
+	d.outcomes = append(d.outcomes, cache)
+}
+
+func defendedEdge(d Defense) (*HTTPEdge, *[]logfmt.Record) {
+	var logs []logfmt.Record
+	e := &HTTPEdge{
+		Cache:  NewCache(1<<20, time.Minute, 4),
+		Origin: &WildcardOrigin{},
+		Defend: d,
+		Log:    func(r *logfmt.Record) { logs = append(logs, *r) },
+	}
+	return e, &logs
+}
+
+func TestDefenseReject(t *testing.T) {
+	d := &scriptedDefense{act: DefenseAction{Reject: true, RetryAfter: 7}}
+	e, logs := defendedEdge(d)
+	req := httptest.NewRequest("GET", "http://x.test/v1/a", nil)
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After %q, want 7", got)
+	}
+	if len(d.outcomes) != 0 {
+		t.Error("rejected request reached RecordOutcome")
+	}
+	if len(*logs) != 1 || (*logs)[0].Status != http.StatusTooManyRequests {
+		t.Errorf("reject not logged: %+v", *logs)
+	}
+}
+
+func TestDefenseNegative(t *testing.T) {
+	d := &scriptedDefense{act: DefenseAction{
+		Negative: true, NegStatus: 404, NegBody: []byte(`{"error":"known bad"}`),
+	}}
+	e, _ := defendedEdge(d)
+	req := httptest.NewRequest("GET", "http://x.test/v1/gone", nil)
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	if rec.Header().Get("X-Cache") != "NEGATIVE" {
+		t.Errorf("X-Cache %q, want NEGATIVE", rec.Header().Get("X-Cache"))
+	}
+	if !strings.Contains(rec.Body.String(), "known bad") {
+		t.Errorf("body %q lacks negative payload", rec.Body.String())
+	}
+	if len(d.outcomes) != 0 {
+		t.Error("negative-cached request reached RecordOutcome")
+	}
+}
+
+// TestDefenseCollapseKey: with the collapse defense, distinct query
+// variants of one object become a single cache entry — the second
+// variant is a hit, with no second origin fetch.
+func TestDefenseCollapseKey(t *testing.T) {
+	d := &scriptedDefense{act: DefenseAction{CollapseKey: "http://x.test/v1/hot"}}
+	o := &recordingOrigin{inner: &WildcardOrigin{}}
+	e := &HTTPEdge{
+		Cache:  NewCache(1<<20, time.Minute, 4),
+		Origin: o,
+		Defend: d,
+	}
+	for _, q := range []string{"?cb=1", "?cb=2", "?cb=3"} {
+		req := httptest.NewRequest("GET", "http://x.test/v1/hot"+q, nil)
+		e.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	if len(o.paths) != 1 {
+		t.Fatalf("origin fetched %d times under collapse, want 1 (%v)", len(o.paths), o.paths)
+	}
+	if len(d.outcomes) != 3 {
+		t.Fatalf("RecordOutcome saw %d admitted requests, want 3", len(d.outcomes))
+	}
+	if d.outcomes[1] != logfmt.CacheHit || d.outcomes[2] != logfmt.CacheHit {
+		t.Errorf("collapsed variants not hits: %v", d.outcomes)
+	}
+}
+
+// TestDefenseAdmitOutcome: the zero action admits normally and outcomes
+// flow back with real cache dispositions.
+func TestDefenseAdmitOutcome(t *testing.T) {
+	d := &scriptedDefense{}
+	e, _ := defendedEdge(d)
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest("GET", "http://x.test/v1/same", nil)
+		e.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	if d.admitted != 2 || len(d.outcomes) != 2 {
+		t.Fatalf("admitted=%d outcomes=%d, want 2/2", d.admitted, len(d.outcomes))
+	}
+	if d.outcomes[0] != logfmt.CacheMiss || d.outcomes[1] != logfmt.CacheHit {
+		t.Errorf("outcomes %v, want [miss hit]", d.outcomes)
+	}
+}

@@ -75,6 +75,13 @@ type HTTPEdge struct {
 	// Classify maps a request to its sched class for shedding; nil uses
 	// ClassifyRequest.
 	Classify func(*http.Request) sched.Class
+	// Defend, if non-nil, is consulted before any cache or origin work:
+	// it can reject the request outright (429), serve a negative-cache
+	// response, or collapse the cache key (see Defense). Admitted
+	// requests report their outcome back through RecordOutcome so the
+	// defense's detectors stay current. internal/defend supplies the
+	// standard detect-and-defend implementation.
+	Defend Defense
 	// MaxBodies bounds the retained response bodies (default 65536);
 	// beyond it the least recently used body is evicted.
 	MaxBodies int
@@ -205,6 +212,57 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	cacheStatus := logfmt.CacheUncacheable
 	stale := false
 
+	if e.Defend != nil {
+		act := e.Defend.Admit(now, r)
+		switch {
+		case act.Reject:
+			if e.Obs != nil {
+				e.Obs.requests(r.Method).Inc()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if act.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(act.RetryAfter))
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			rejBody := []byte(`{"error":"rate limited"}`)
+			if r.Method != http.MethodHead {
+				w.Write(rejBody)
+			}
+			if e.Log != nil {
+				e.logRequest(r, now, "application/json", http.StatusTooManyRequests, int64(len(rejBody)), logfmt.CacheUncacheable)
+			}
+			reqSp.SetAttrs(obs.Int("status", http.StatusTooManyRequests), obs.String("cache", "defend-reject"))
+			reqSp.End()
+			return
+		case act.Negative:
+			if e.Obs != nil {
+				e.Obs.requests(r.Method).Inc()
+			}
+			negStatus, negMIME := act.NegStatus, act.NegMIME
+			if negStatus == 0 {
+				negStatus = http.StatusNotFound
+			}
+			if negMIME == "" {
+				negMIME = "application/json"
+			}
+			w.Header().Set("Content-Type", negMIME)
+			w.Header().Set("X-Cache", "NEGATIVE")
+			w.WriteHeader(negStatus)
+			if r.Method != http.MethodHead {
+				w.Write(act.NegBody)
+			}
+			if e.Log != nil {
+				e.logRequest(r, now, negMIME, negStatus, int64(len(act.NegBody)), logfmt.CacheHit)
+			}
+			reqSp.SetAttrs(obs.Int("status", negStatus), obs.String("cache", "defend-negative"))
+			reqSp.End()
+			return
+		}
+		if act.CollapseKey != "" {
+			key = act.CollapseKey
+		}
+	}
+
 	serveFromCache := r.Method == http.MethodGet && e.Cache.Lookup(key, now)
 	if serveFromCache {
 		if sb, ok := e.loadBody(key); ok {
@@ -236,6 +294,7 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				}
 				reqSp.SetAttrs(obs.Int("status", http.StatusServiceUnavailable), obs.String("cache", "shed"))
 				reqSp.End()
+				e.recordOutcome(now, r, logfmt.CacheUncacheable, http.StatusServiceUnavailable)
 				return
 			}
 		}
@@ -247,7 +306,14 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			fetchStart = time.Now()
 		}
 		fsp := reqSp.Child("origin fetch")
-		b, m, cacheable, err := e.Origin.Fetch(r.URL.Path)
+		// The query string travels to the origin: query-varying objects
+		// (conversion parameters, API arguments) are distinct resources,
+		// which is exactly what cache-busting storms exploit.
+		fetchPath := r.URL.Path
+		if r.URL.RawQuery != "" {
+			fetchPath += "?" + r.URL.RawQuery
+		}
+		b, m, cacheable, err := e.Origin.Fetch(fetchPath)
 		fsp.AddBytes(int64(len(b)))
 		if err != nil {
 			fsp.SetAttrs(obs.Bool("error", true))
@@ -312,6 +378,7 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		reqSp.SetAttrs(obs.Int("status", http.StatusNotModified), obs.String("cache", cacheLabel(cacheStatus, stale)))
 		reqSp.End()
+		e.recordOutcome(now, r, cacheStatus, http.StatusNotModified)
 		return
 	}
 
@@ -333,6 +400,14 @@ func (e *HTTPEdge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqSp.AddBytes(int64(len(body)))
 	reqSp.SetAttrs(obs.Int("status", status), obs.String("cache", cacheLabel(cacheStatus, stale)))
 	reqSp.End()
+	e.recordOutcome(now, r, cacheStatus, status)
+}
+
+// recordOutcome feeds an admitted request's result back to the defense.
+func (e *HTTPEdge) recordOutcome(now time.Time, r *http.Request, cache logfmt.CacheStatus, status int) {
+	if e.Defend != nil {
+		e.Defend.RecordOutcome(now, r, cache, status)
+	}
 }
 
 // cacheLabel renders the X-Cache header value.
@@ -384,10 +459,14 @@ func (o *JSONOrigin) articles() int {
 	return o.Articles
 }
 
-// Fetch implements Origin.
+// Fetch implements Origin. Query strings are ignored for routing: the
+// manifest application serves the same object for every query variant.
 func (o *JSONOrigin) Fetch(path string) ([]byte, string, bool, error) {
 	if o.Latency > 0 {
 		time.Sleep(o.Latency)
+	}
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
 	}
 	switch {
 	case path == "/stories":

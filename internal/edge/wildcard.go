@@ -12,9 +12,11 @@ import (
 // the full cache hit/miss/uncacheable mix instead of collapsing into
 // 404s. It first delegates to Inner (when set) and synthesizes a
 // deterministic JSON body for anything Inner rejects: the body size
-// and content derive from the path hash, so the same URL always
-// yields the same object, which is what gives repeated URLs their
-// cache hits.
+// and content derive from the hash of the full path including any
+// query string, so the same URL always yields the same object while
+// query variants are distinct resources — a cache-busting replay sees
+// real per-variant origin work instead of colliding on path alone.
+// Cacheability is decided on the query-stripped path.
 type WildcardOrigin struct {
 	// Inner, if non-nil, is consulted first; its successes pass
 	// through untouched.
@@ -48,7 +50,13 @@ func (o *WildcardOrigin) Fetch(path string) ([]byte, string, bool, error) {
 	}
 	b.WriteString(`"}`)
 	// Telemetry and personalized paths stay uncacheable, mirroring the
-	// paper's uncacheable JSON share; everything else is cacheable.
-	cacheable := !strings.HasPrefix(path, "/ingest/") && !strings.HasPrefix(path, "/profile/")
+	// paper's uncacheable JSON share; everything else is cacheable. The
+	// prefix test uses the query-stripped path so "?x=/profile/" games
+	// nothing.
+	base := path
+	if i := strings.IndexByte(base, '?'); i >= 0 {
+		base = base[:i]
+	}
+	cacheable := !strings.HasPrefix(base, "/ingest/") && !strings.HasPrefix(base, "/profile/")
 	return []byte(b.String()), "application/json", cacheable, nil
 }

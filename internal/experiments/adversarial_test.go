@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdversarialBounds is the acceptance gate for the detect-and-defend
+// loop: under the same labeled attack stream, the defended edge must
+// hold origin amplification under the ceiling while the undefended edge
+// is demonstrably worse — higher amplification at the base intensity
+// and steeper origin-load growth when the attack doubles.
+func TestAdversarialBounds(t *testing.T) {
+	var sb strings.Builder
+	res, err := runner().Adversarial(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackRequests == 0 || res.BenignRequests == 0 {
+		t.Fatalf("degenerate stream: %d benign, %d attack", res.BenignRequests, res.AttackRequests)
+	}
+	if !res.CeilingOK || res.DefendedAmplification > AdversarialCeiling {
+		t.Fatalf("defended amplification %.3f above ceiling %.2f",
+			res.DefendedAmplification, AdversarialCeiling)
+	}
+	if res.UndefendedAmplification <= 2*res.DefendedAmplification {
+		t.Fatalf("undefended amplification %.3f not clearly worse than defended %.3f",
+			res.UndefendedAmplification, res.DefendedAmplification)
+	}
+	// The undefended edge must also show open-loop scaling: doubling
+	// the attack budget grows its origin load faster than the
+	// defended edge's.
+	if !res.StrictlyWorse || res.UndefendedGrowth <= res.DefendedGrowth {
+		t.Fatalf("undefended growth %.2fx not worse than defended %.2fx",
+			res.UndefendedGrowth, res.DefendedGrowth)
+	}
+	// An undefended cache-busting storm amplifies near one-for-one for
+	// its population; the blended figure should stay substantial — if
+	// not, the attack generator is not producing real pressure.
+	if res.UndefendedAmplification < 0.4 {
+		t.Errorf("undefended amplification %.3f — attack stream too weak to gate on",
+			res.UndefendedAmplification)
+	}
+	// Benign collateral: the defense may not meaningfully reject or
+	// slow legitimate traffic.
+	if res.DefendedBenignRejectRate > 0.02 {
+		t.Errorf("defended benign reject rate %.3f > 2%%", res.DefendedBenignRejectRate)
+	}
+	if res.DefendedBenignP99 > res.UndefendedBenignP99+5*time.Millisecond {
+		t.Errorf("defended benign p99 %s regressed vs undefended %s",
+			res.DefendedBenignP99, res.UndefendedBenignP99)
+	}
+	// The loop must actually have acted, not won by accident.
+	if res.Collapsed == 0 {
+		t.Error("no cache-key collapses recorded during a query storm")
+	}
+	if res.Shed == 0 {
+		t.Error("no requests shed during a bot flood")
+	}
+	if res.AnomalyFlags == 0 {
+		t.Error("no anomaly flags raised")
+	}
+	if !strings.Contains(sb.String(), "amplification") {
+		t.Error("output missing amplification lines")
+	}
+}
+
+// TestAdversarialDeterministic: simulated clock, seeded streams, and
+// deterministic defenses — two runs agree field for field.
+func TestAdversarialDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewRunner(cfg).Adversarial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(cfg).Adversarial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("results differ across runs:\n%+v\n%+v", a, b)
+	}
+}

@@ -65,6 +65,7 @@ type Report struct {
 	Anomaly      AnomalyResult
 	Regional     RegionalResult
 	Resilience   ResilienceResult
+	Adversarial  AdversarialResult
 
 	// Steps is the per-step outcome ledger, in paper order. On a
 	// cancelled or failed run it records which results above are
@@ -198,6 +199,10 @@ func (r *Runner) stepSpecs(rep *Report) []stepSpec {
 		}},
 		{"Resilience under origin faults (robustness)", "resilience", 0, func(w io.Writer) (err error) {
 			rep.Resilience, err = r.Resilience(w)
+			return
+		}},
+		{"Adversarial traffic and edge defenses (robustness)", "adversarial", 0, func(w io.Writer) (err error) {
+			rep.Adversarial, err = r.Adversarial(w)
 			return
 		}},
 	}

@@ -1,0 +1,69 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzParseSLO exercises the SLO grammar with arbitrary expressions:
+// the parser must never panic, a successful parse must yield clauses,
+// and every parsed SLO must evaluate cleanly against a populated
+// Result (Eval is what gates CI, so a grammar corner that parses but
+// explodes at evaluation time would take down the harness, not the
+// build under test).
+func FuzzParseSLO(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"p99<50ms",
+		"p99<50ms,err<1%",
+		"p50<1.5s,p999<2s,mean<100ms,max<5s",
+		"err<0.01",
+		"rps>500",
+		"p99<50ms, err < 1% ,rps>2",
+		"p101<1s",
+		"p9x<1s",
+		"mean>",
+		"<50ms",
+		"err<-1%",
+		"p99<50parsecs",
+		"rps=500",
+		",,,",
+		"p99<50ms,p99<50ms,p99<50ms",
+	} {
+		f.Add(seed)
+	}
+
+	res := &Result{
+		Offered: 100, Sent: 100, Measured: 100,
+		Latency: obs.NewHDRHistogram(obs.LatencyHDRConfig()),
+		Service: obs.NewHDRHistogram(obs.LatencyHDRConfig()),
+	}
+	res.Latency.Record(5e6)
+	res.Service.Record(4e6)
+
+	f.Fuzz(func(t *testing.T, expr string) {
+		slo, err := ParseSLO(expr)
+		if err != nil {
+			if slo != nil {
+				t.Fatalf("ParseSLO(%q) returned both an SLO and an error", expr)
+			}
+			return
+		}
+		if strings.TrimSpace(expr) == "" {
+			if slo != nil {
+				t.Fatalf("ParseSLO(%q) of blank expression returned an SLO", expr)
+			}
+			return
+		}
+		if slo == nil || len(slo.Clauses) == 0 {
+			t.Fatalf("ParseSLO(%q) succeeded with no clauses", expr)
+		}
+		// Every accepted expression must be evaluatable.
+		slo.Eval(res)
+		if (*SLO)(nil).Eval(res) != nil {
+			t.Fatal("nil SLO did not pass unconditionally")
+		}
+	})
+}

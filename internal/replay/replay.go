@@ -396,8 +396,11 @@ func hdrMs(h *obs.HDRHistogram, q float64) string {
 	return fmt.Sprintf("%.1f", float64(h.Quantile(q))/1e6)
 }
 
-// send issues one request, preserving method, path+query, and user
-// agent, and returns the status and normalized response MIME type.
+// send issues one request, preserving method, path+query, user agent,
+// and the record's client identity (X-Client-Id, which a defending edge
+// configured with a trusted ClientIDHeader keys its per-client state
+// on — every replayed request otherwise shares one socket), and returns
+// the status and normalized response MIME type.
 func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, string, error) {
 	url := cfg.Target + rec.Path()
 	req, err := http.NewRequestWithContext(ctx, rec.Method, url, nil)
@@ -407,6 +410,7 @@ func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, string, err
 	if rec.UserAgent != "" {
 		req.Header.Set("User-Agent", rec.UserAgent)
 	}
+	req.Header.Set("X-Client-Id", fmt.Sprintf("%016x", rec.ClientID))
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		return 0, "", err

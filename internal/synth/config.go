@@ -90,6 +90,15 @@ type Config struct {
 	// Seattle-only and its §7 limitations call for more regions).
 	// Machine traffic is unaffected. Zero keeps the default phase.
 	UTCOffset time.Duration
+	// Attack overlays seeded adversarial traffic populations on the
+	// normal stream: cache-busting query storms, flash crowds, bot
+	// floods with spoofed user agents, and compression-conversion
+	// amplification probes. Attack actors draw on their own RNG stream
+	// and never touch the benign simulation's state, so a given Seed
+	// produces the identical benign subsequence whether or not the
+	// attack is enabled (see AttackMask). The zero value disables all
+	// attack traffic.
+	Attack AttackConfig
 	// Shards splits the client population across this many independent
 	// sub-generators running on their own goroutines, their outputs
 	// k-way merged by timestamp. 0 or 1 keeps the single-goroutine
@@ -136,7 +145,7 @@ func (c *Config) Validate() error {
 	if s < 0.95 || s > 1.05 {
 		return errors.New("synth: Config.Mix shares must sum to ~1")
 	}
-	return nil
+	return c.Attack.validate()
 }
 
 // captureStart is the fixed reference capture time used by the presets

@@ -56,6 +56,7 @@ func Generate(cfg Config, emit func(*logfmt.Record) error) error {
 	}
 	g := newGenerator(cfg, emit)
 	g.buildPopulation()
+	g.buildAttackPopulation()
 	return g.run()
 }
 
@@ -81,6 +82,15 @@ type generator struct {
 	// drives the hit/miss model (a fresh edge cache with a uniform TTL).
 	cacheable  map[string]bool
 	lastServed map[string]time.Time
+
+	// attackRNG is the adversarial overlay's dedicated random stream
+	// (derived from Seed, split per shard); attackServed is the attack
+	// actors' own serve map so their hit model never writes benign
+	// state; nextAttackID mints from the attack client-ID namespace.
+	// See attack.go for why the separation matters.
+	attackRNG    *stats.RNG
+	attackServed map[string]time.Time
+	nextAttackID uint64
 
 	// recCtr/byteCtr are pre-resolved from cfg.Obs (nil when
 	// uninstrumented) so emission pays no registry lookups.
@@ -176,6 +186,7 @@ func newGenerator(cfg Config, emit func(*logfmt.Record) error) *generator {
 		htmlSizes:  html,
 		assetSizes: asset,
 		urls:       make(map[*Domain]*domainURLs),
+		attackRNG:  stats.NewRNG(cfg.Seed ^ attackSeedSalt),
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Help("synth_records_generated_total", "Log records emitted by the synthetic generator.")

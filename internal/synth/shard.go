@@ -82,9 +82,14 @@ func generateSharded(cfg Config, emit func(*logfmt.Record) error) error {
 			// base seed inside newGenerator, so they are identical
 			// across shards.
 			g.rng = base.SplitIndexed(uint64(s))
+			// The attack overlay RNG splits the same way so its stream
+			// is a pure function of (Seed, shard), independent of the
+			// benign stream.
+			g.attackRNG = stats.NewRNG(cfg.Seed ^ attackSeedSalt).SplitIndexed(uint64(s))
 			g.idPrefix = itoa(s) + "/"
 			g.fleetBase = s << 20
 			g.buildPopulation()
+			g.buildAttackPopulation()
 			errs[s] = g.run()
 		}(s, scfg)
 	}

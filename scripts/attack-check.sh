@@ -1,0 +1,137 @@
+#!/bin/sh
+# attack-check: adversarial-robustness gate. Generates one benign
+# synthetic stream and the same stream with an overlaid attack
+# (cache-busting storm, flash crowd, bot flood, conversion
+# amplification), replays both against a liveedge twice — defenses off,
+# then defenses on (-defend) — and measures attack-attributed origin
+# amplification from the edge's own /metrics:
+#
+#   amplification = (fetches(combined) - fetches(benign)) / attack requests
+#
+# each measured against a cache warmed by one benign pass. The build
+# fails unless the defended edge holds amplification under $AMP_CEILING,
+# the undefended edge demonstrates the attack is real (>= $MIN_UNDEFENDED
+# and worse than defended), and benign traffic replayed through the
+# defenses meets $SLO.
+#
+# Tunables (environment):
+#   AMP_CEILING    defended amplification bound   (default 0.5)
+#   MIN_UNDEFENDED undefended sanity floor        (default 0.4)
+#   SPEED          replay timeline compression    (default 30)
+#   SLO            benign gate with defenses on   (default "p99<250ms,err<1%")
+#   SEED           stream seed                    (default 7)
+#   OUT            benign replay report path      (default replay-attack.json)
+set -eu
+
+AMP_CEILING="${AMP_CEILING:-0.5}"
+MIN_UNDEFENDED="${MIN_UNDEFENDED:-0.4}"
+SPEED="${SPEED:-30}"
+SLO="${SLO:-p99<250ms,err<1%}"
+SEED="${SEED:-7}"
+OUT="${OUT:-replay-attack.json}"
+GO="${GO:-go}"
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+edge_pid=""
+cleanup() {
+    [ -n "$edge_pid" ] && kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fetch_url() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# origin_fetches ADMIN_URL: current origin-fetch count from /metrics.
+origin_fetches() {
+    fetch_url "$1/metrics" | awk '
+        /^edge_origin_fetch_seconds_count/ { n = $2; found = 1 }
+        END { print (found ? n : 0) }'
+}
+
+echo "attack-check: building liveedge, jsongen, jsonreplay"
+"$GO" build -o "$work/liveedge" ./examples/liveedge
+"$GO" build -o "$work/jsongen" ./cmd/jsongen
+"$GO" build -o "$work/jsonreplay" ./cmd/jsonreplay
+
+echo "attack-check: generating benign and attack streams (seed $SEED)"
+GENFLAGS="-preset short -duration 3m -target 6000 -domains 12 -seed $SEED -q"
+"$work/jsongen" $GENFLAGS -o "$work/benign.tsv"
+"$work/jsongen" $GENFLAGS \
+    -attack-bust 0.25 -attack-flash 0.10 -attack-bots 0.10 -attack-amplify 0.10 \
+    -attack-start 30s -o "$work/combined.tsv"
+n_benign=$(wc -l < "$work/benign.tsv")
+n_combined=$(wc -l < "$work/combined.tsv")
+n_attack=$((n_combined - n_benign))
+echo "attack-check: $n_benign benign + $n_attack attack records"
+[ "$n_attack" -gt 0 ] || { echo "attack-check: attack overlay produced no records" >&2; exit 1; }
+
+# run_stack LABEL EDGE_FLAGS SLO_EXPR -> prints amplification.
+# Three passes against one edge: benign (cache warm-up), benign
+# (baseline origin fetches B, optionally SLO-gated), combined (fetch
+# delta D); attack-attributed amplification is (D - B) / n_attack.
+run_stack() {
+    label="$1"; edge_flags="$2"; slo_expr="$3"
+    urlfile="$work/$label.url"
+    # shellcheck disable=SC2086
+    "$work/liveedge" -serve -fault-rate 0 $edge_flags -url-file "$urlfile" \
+        2>"$work/$label.log" &
+    edge_pid=$!
+
+    "$work/jsonreplay" -i "$work/benign.tsv" -target-file "$urlfile" \
+        -speed "$SPEED" -progress 0 >/dev/null
+    admin=$(sed -n 2p "$urlfile")
+    f0=$(origin_fetches "$admin")
+    if [ -n "$slo_expr" ]; then
+        "$work/jsonreplay" -i "$work/benign.tsv" -target-file "$urlfile" \
+            -speed "$SPEED" -progress 0 -slo "$slo_expr" -out "$OUT" >/dev/null || {
+            status=$?
+            echo "attack-check: FAILED benign SLO with defenses on (jsonreplay exit $status)" >&2
+            cat "$work/$label.log" >&2
+            exit "$status"
+        }
+    else
+        "$work/jsonreplay" -i "$work/benign.tsv" -target-file "$urlfile" \
+            -speed "$SPEED" -progress 0 >/dev/null
+    fi
+    f1=$(origin_fetches "$admin")
+    "$work/jsonreplay" -i "$work/combined.tsv" -target-file "$urlfile" \
+        -speed "$SPEED" -progress 0 >/dev/null
+    f2=$(origin_fetches "$admin")
+
+    kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null || true
+    edge_pid=""
+    awk -v b=$((f1 - f0)) -v d=$((f2 - f1)) -v n="$n_attack" \
+        'BEGIN { a = (d - b) / n; if (a < 0) a = 0; printf "%.3f", a }'
+}
+
+echo "attack-check: replaying against the undefended edge"
+amp_off=$(run_stack undefended "" "")
+echo "attack-check: undefended attack amplification: $amp_off"
+
+echo "attack-check: replaying against the defended edge (gating benign on \"$SLO\")"
+amp_on=$(run_stack defended "-defend" "$SLO")
+echo "attack-check: defended attack amplification:   $amp_on (ceiling $AMP_CEILING)"
+
+fail=0
+awk -v a="$amp_on" -v c="$AMP_CEILING" 'BEGIN { exit !(a <= c) }' || {
+    echo "attack-check: FAILED: defended amplification $amp_on above ceiling $AMP_CEILING" >&2
+    fail=1
+}
+awk -v a="$amp_off" -v m="$MIN_UNDEFENDED" 'BEGIN { exit !(a >= m) }' || {
+    echo "attack-check: FAILED: undefended amplification $amp_off below $MIN_UNDEFENDED — attack stream not biting, gate is vacuous" >&2
+    fail=1
+}
+awk -v off="$amp_off" -v on="$amp_on" 'BEGIN { exit !(off > on) }' || {
+    echo "attack-check: FAILED: defenses did not reduce amplification ($amp_on vs $amp_off)" >&2
+    fail=1
+}
+[ "$fail" -eq 0 ] || exit 1
+echo "attack-check: PASS (defended $amp_on <= $AMP_CEILING, undefended $amp_off; report: $OUT)"
