@@ -10,12 +10,13 @@ REPLAYREPORT ?= replay-slo.json
 # Pinned staticcheck, run via `go run` so no binary install is needed.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: ci vet lint build test race fuzz bench bench-check slo-check attack-check
+.PHONY: ci vet lint build test race fuzz bench bench-check slo-check attack-check chaos-check
 
 # ci is the tier-1 gate: everything below, in order. The end-to-end
-# gates run last — slo-check (latency) then attack-check (adversarial
-# robustness) — so they only fail CI after the code itself is sound.
-ci: vet lint build test race fuzz slo-check attack-check
+# gates run last — slo-check (latency), attack-check (adversarial
+# robustness), then chaos-check (fleet availability under node churn) —
+# so they only fail CI after the code itself is sound.
+ci: vet lint build test race fuzz slo-check attack-check chaos-check
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +40,11 @@ test:
 
 # race covers the concurrent hot paths: the metrics substrate, the
 # net/http edge that reports into it, the retry/breaker machinery, the
-# bounded ingest pipeline, the sharded generator, and the parallel
-# experiment scheduler.
+# bounded ingest pipeline, the sharded generator, the parallel
+# experiment scheduler, and the fleet front tier (health prober, ring
+# swaps, failover/hedging) with its chaos injector.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/defend ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/defend ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay ./internal/fleet/...
 
 # bench regenerates the persisted benchmark baseline (BENCH_1.json by
 # default; override with BENCHOUT=...). It runs every benchmark in the
@@ -79,6 +81,17 @@ slo-check:
 # scripts/attack-check.sh).
 attack-check:
 	GO=$(GO) ./scripts/attack-check.sh
+
+# chaos-check is the fleet availability gate: spawn a 3-node liveedge
+# fleet behind the consistent-hash front tier, replay through the front
+# while a scripted timeline kills and respawns one node, and fail
+# unless availability (p99 + avail budget, 5xx counted) holds AND the
+# settled hit ratio recovers to within $(RECOVER) of pre-fault — then
+# prove the gate bites by re-running with failover disabled, which must
+# violate the same SLO. Tune with SLO/RATE/DURATION/WARMUP/NODES/
+# RECOVER (see scripts/chaos-check.sh).
+chaos-check:
+	GO=$(GO) ./scripts/chaos-check.sh
 
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.

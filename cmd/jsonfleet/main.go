@@ -1,0 +1,522 @@
+// Jsonfleet: supervise a fault-tolerant multi-node edge fleet. It
+// spawns N liveedge processes (-node-bin), fronts them with the
+// internal/fleet router — consistent-hash placement, active health
+// checking, bounded failover, optional tail-latency hedging — and
+// publishes the front URL through the same URL-file handshake a single
+// liveedge uses, so `jsonreplay -target-file` drives a fleet exactly
+// as it drives one edge.
+//
+//	go build -o /tmp/liveedge ./cmd/liveedge
+//	go run ./cmd/jsonfleet -nodes 3 -node-bin /tmp/liveedge \
+//	    -url-file /tmp/fleet.url
+//
+// With -chaos (a timeline file, see internal/fleet/chaos) or
+// -chaos-events (a seeded generated schedule), a controller disrupts
+// the fleet mid-run: kill SIGKILLs a child and restart respawns it on
+// the same port; pause/partition/dead go through each node's chaos
+// control endpoint. Every timeline event snapshots the front's
+// counters, and on SIGTERM the supervisor writes a chaos report
+// (-report) with per-window hit ratios. -recover-within R turns the
+// report into a gate: the settled post-repair hit ratio must be within
+// R of the pre-fault ratio, or the process exits 4 — how
+// `make chaos-check` asserts the fleet actually heals.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/fleet"
+	"repro/internal/fleet/chaos"
+	"repro/internal/obs"
+)
+
+var logger *obs.Logger
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 3, "number of liveedge node processes")
+		nodeBin    = flag.String("node-bin", "", "path to a liveedge binary (required; build with: go build -o ... ./cmd/liveedge)")
+		listen     = flag.String("listen", "127.0.0.1:0", "front-tier listen address")
+		adminAddr  = flag.String("admin", "127.0.0.1:0", "admin (metrics/readyz/fleetz) listen address")
+		urlFile    = flag.String("url-file", "", "publish the front and admin URLs to this file once ready")
+		workDir    = flag.String("work", "", "scratch directory for child URL files (default: a temp dir)")
+		failover   = flag.Int("failover", 2, "max failover retries to the next ring replica (0 disables failover)")
+		hedge      = flag.Bool("hedge", false, "enable tail-latency hedging (second request after the p99-derived delay)")
+		probe      = flag.Duration("probe", 200*time.Millisecond, "health probe period")
+		downAfter  = flag.Int("down-after", 3, "consecutive probe failures before a node leaves the ring")
+		upAfter    = flag.Int("up-after", 2, "consecutive probe successes before a down node rejoins")
+		faultRate  = flag.Float64("fault-rate", 0, "per-node origin fault rate passed through to liveedge")
+		chaosFile  = flag.String("chaos", "", "chaos timeline file to execute against the fleet")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for a generated timeline (-chaos-events)")
+		chaosN     = flag.Int("chaos-events", 0, "generate this many seeded disruptions instead of reading -chaos")
+		chaosDur   = flag.Duration("chaos-dur", 10*time.Second, "span of a generated timeline")
+		reportPath = flag.String("report", "", "write the chaos report JSON here on shutdown")
+		recoverTol = flag.Float64("recover-within", 0, "gate: settled hit ratio must be within this of the pre-fault ratio (0 disables; violation exits 4)")
+	)
+	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), uint64(*chaosSeed), nil).Component("jsonfleet")
+
+	if *nodeBin == "" {
+		logger.Error("-node-bin is required")
+		os.Exit(2)
+	}
+	if *nodes < 1 {
+		logger.Error("-nodes must be >= 1", "nodes", *nodes)
+		os.Exit(2)
+	}
+	dir := *workDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "jsonfleet-*")
+		if err != nil {
+			logger.Error("temp dir", "err", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	sup := &supervisor{bin: *nodeBin, dir: dir, faultRate: *faultRate}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Spawn the fleet and wait for every node's handshake.
+	var members []*fleet.Member
+	for i := 0; i < *nodes; i++ {
+		name := fmt.Sprintf("edge-%02d", i)
+		c, err := sup.spawn(ctx, name, "127.0.0.1:0")
+		if err != nil {
+			logger.Error("spawning node", "node", name, "err", err)
+			sup.killAll()
+			os.Exit(1)
+		}
+		members = append(members, &fleet.Member{
+			Name: name, URL: c.edgeURL, HealthURL: c.edgeURL + "/healthz",
+		})
+		logger.Info("node up", "node", name, "url", c.edgeURL, "chaos", c.chaosURL)
+	}
+
+	f := fleet.New(fleet.Config{
+		Probe:       *probe,
+		DownAfter:   *downAfter,
+		UpAfter:     *upAfter,
+		MaxFailover: *failover,
+		Hedge:       *hedge,
+		Logger:      logger,
+	}, members...)
+	sup.fleet = f
+	reg := obs.NewRegistry()
+	inst := f.Instrument(reg)
+	stopHealth := f.StartHealth()
+	defer stopHealth()
+
+	// Front listener + admin mux (metrics, readyz, and /fleetz with the
+	// live membership snapshot).
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Error("front listen failed", "addr", *listen, "err", err)
+		sup.killAll()
+		os.Exit(1)
+	}
+	frontURL := "http://" + ln.Addr().String()
+	frontSrv := &http.Server{Handler: f}
+	go frontSrv.Serve(ln)
+
+	health := &obs.Health{}
+	adminMux := obs.AdminMux(reg, health)
+	adminMux.HandleFunc("/fleetz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"live": f.Live(), "draining": f.Draining(), "members": f.Members(),
+		})
+	})
+	aln, err := net.Listen("tcp", *adminAddr)
+	if err != nil {
+		logger.Error("admin listen failed", "addr", *adminAddr, "err", err)
+		sup.killAll()
+		os.Exit(1)
+	}
+	adminURL := "http://" + aln.Addr().String()
+	adminSrv := &http.Server{Handler: adminMux}
+	go adminSrv.Serve(aln)
+
+	health.SetReady(true)
+	if *urlFile != "" {
+		if err := edge.WriteURLFile(*urlFile, frontURL, adminURL); err != nil {
+			logger.Error("publishing URL file", "path", *urlFile, "err", err)
+			sup.killAll()
+			os.Exit(1)
+		}
+	}
+	logger.Info("fleet serving", "front", frontURL, "admin", adminURL,
+		"nodes", *nodes, "failover", *failover, "hedge", *hedge)
+
+	// Chaos: load or generate the timeline and run it concurrently with
+	// the traffic the harness replays through the front.
+	rec := &recorder{inst: inst, fleet: f, start: time.Now()}
+	var timeline []chaos.Event
+	switch {
+	case *chaosFile != "":
+		fh, err := os.Open(*chaosFile)
+		if err != nil {
+			logger.Error("opening timeline", "path", *chaosFile, "err", err)
+			sup.killAll()
+			os.Exit(1)
+		}
+		timeline, err = chaos.ParseTimeline(fh)
+		fh.Close()
+		if err != nil {
+			logger.Error("parsing timeline", "path", *chaosFile, "err", err)
+			sup.killAll()
+			os.Exit(1)
+		}
+	case *chaosN > 0:
+		names := make([]string, *nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("edge-%02d", i)
+		}
+		timeline = chaos.GenerateTimeline(*chaosSeed, names, *chaosDur, *chaosN)
+		for _, ev := range timeline {
+			logger.Info("generated chaos event", "event", ev.String())
+		}
+	}
+	chaosErr := make(chan error, 1)
+	if len(timeline) > 0 {
+		ctl := &chaos.Controller{
+			Target:  sup,
+			OnEvent: rec.observe,
+			Log:     func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
+		}
+		go func() { chaosErr <- ctl.Run(ctx, timeline) }()
+	} else {
+		chaosErr <- nil
+	}
+
+	<-ctx.Done()
+	stop()
+
+	// Shutdown: drain the front (stops the prober), settle, tear down.
+	f.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	frontSrv.Shutdown(shutCtx)
+	adminSrv.Close()
+	sup.killAll()
+	if err := <-chaosErr; err != nil && ctx.Err() == nil {
+		logger.Error("chaos timeline failed", "err", err)
+		os.Exit(1)
+	}
+
+	rep := rec.report(*nodes, *failover, *hedge, timeline, *recoverTol)
+	if *reportPath != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*reportPath, append(data, '\n'), 0o644); err != nil {
+			logger.Error("writing report", "path", *reportPath, "err", err)
+			os.Exit(1)
+		}
+	}
+	logger.Info("fleet stopped",
+		"hits", inst.Hits.Value(), "misses", inst.Misses.Value(),
+		"failovers", inst.Failovers.Value(), "exhausted", inst.Exhausted.Value(),
+		"hedges", inst.Hedges.Value(), "hedges_won", inst.HedgesWon.Value())
+	if rep.Recovery != nil {
+		logger.Info("recovery gate",
+			"pre_ratio", fmt.Sprintf("%.3f", rep.Recovery.PreRatio),
+			"settled_ratio", fmt.Sprintf("%.3f", rep.Recovery.SettledRatio),
+			"tolerance", fmt.Sprintf("%.3f", rep.Recovery.Tolerance),
+			"pass", rep.Recovery.Pass)
+		if !rep.Recovery.Pass {
+			os.Exit(4)
+		}
+	}
+}
+
+// child is one supervised liveedge process.
+type child struct {
+	name     string
+	urlFile  string
+	edgeAddr string // host:port, pinned after first start so restarts keep identity
+	cmd      *exec.Cmd
+	edgeURL  string
+	adminURL string
+	chaosURL string
+}
+
+// supervisor owns the node processes and implements chaos.Target:
+// kill/restart at the process level, pause/partition/dead through each
+// node's chaos control endpoint.
+type supervisor struct {
+	bin       string
+	dir       string
+	faultRate float64
+	fleet     *fleet.Fleet
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// spawn starts (or restarts) the named node listening on addr and
+// waits for its URL-file handshake.
+func (s *supervisor) spawn(ctx context.Context, name, addr string) (*child, error) {
+	uf := filepath.Join(s.dir, name+".url")
+	os.Remove(uf)
+	cmd := exec.Command(s.bin,
+		"-serve",
+		"-listen", addr,
+		"-admin", "127.0.0.1:0",
+		"-chaos-listen", "127.0.0.1:0",
+		"-url-file", uf,
+		"-fault-rate", fmt.Sprintf("%g", s.faultRate),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	urls, err := edge.AwaitURLFile(ctx, uf, 15*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	}
+	if len(urls) < 3 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("node %s published %d URLs, want edge+admin+chaos", name, len(urls))
+	}
+	c := &child{name: name, urlFile: uf, cmd: cmd,
+		edgeURL: urls[0], adminURL: urls[1], chaosURL: urls[2]}
+	c.edgeAddr = c.edgeURL[len("http://"):]
+	s.mu.Lock()
+	if s.children == nil {
+		s.children = make(map[string]*child)
+	}
+	s.children[name] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+func (s *supervisor) get(name string) (*child, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.children[name]
+	if c == nil {
+		return nil, fmt.Errorf("unknown node %q", name)
+	}
+	return c, nil
+}
+
+// Kill SIGKILLs the node's process — no drain, no goodbye, exactly the
+// failure the health checker and failover path exist for.
+func (s *supervisor) Kill(name string) error {
+	c, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	if c.cmd == nil || c.cmd.Process == nil {
+		return fmt.Errorf("node %q not running", name)
+	}
+	if err := c.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	c.cmd.Wait()
+	c.cmd = nil
+	return nil
+}
+
+// Restart respawns a killed node on its original port so its member
+// URL — and its slice of the ring — stays valid.
+func (s *supervisor) Restart(name string) error {
+	c, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	if c.cmd != nil {
+		return fmt.Errorf("node %q still running", name)
+	}
+	nc, err := s.spawn(context.Background(), name, c.edgeAddr)
+	if err != nil {
+		return err
+	}
+	if s.fleet != nil {
+		return s.fleet.UpdateMemberURL(name, nc.edgeURL, nc.edgeURL+"/healthz")
+	}
+	return nil
+}
+
+// Inject posts a fault mode to the node's chaos control endpoint.
+func (s *supervisor) Inject(name string, mode chaos.Mode, delay time.Duration) error {
+	c, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return chaos.InjectHTTP(ctx, http.DefaultClient, c.chaosURL, mode, delay)
+}
+
+// killAll tears the fleet down (shutdown path).
+func (s *supervisor) killAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.cmd != nil && c.cmd.Process != nil {
+			c.cmd.Process.Kill()
+			c.cmd.Wait()
+			c.cmd = nil
+		}
+	}
+}
+
+// snapshot is the front's counter state at one timeline instant.
+type snapshot struct {
+	AtMs      int64  `json:"at_ms"`
+	Verb      string `json:"verb"`
+	Node      string `json:"node"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Failovers int64  `json:"failovers"`
+	Exhausted int64  `json:"exhausted"`
+	Live      int    `json:"live"`
+}
+
+// recorder snapshots fleet counters at each chaos event; the report
+// derives per-window hit ratios from the deltas.
+type recorder struct {
+	inst  *fleet.Instrumentation
+	fleet *fleet.Fleet
+	start time.Time
+
+	mu    sync.Mutex
+	snaps []snapshot
+}
+
+func (r *recorder) observe(ev chaos.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snaps = append(r.snaps, snapshot{
+		AtMs:      time.Since(r.start).Milliseconds(),
+		Verb:      ev.Verb,
+		Node:      ev.Node,
+		Hits:      r.inst.Hits.Value(),
+		Misses:    r.inst.Misses.Value(),
+		Failovers: r.inst.Failovers.Value(),
+		Exhausted: r.inst.Exhausted.Value(),
+		Live:      r.fleet.Live(),
+	})
+}
+
+// window is a hit-ratio measurement between two snapshots.
+type window struct {
+	Hits   int64   `json:"hits"`
+	Misses int64   `json:"misses"`
+	Ratio  float64 `json:"ratio"`
+}
+
+func windowBetween(from, to snapshot) window {
+	w := window{Hits: to.Hits - from.Hits, Misses: to.Misses - from.Misses}
+	if n := w.Hits + w.Misses; n > 0 {
+		w.Ratio = float64(w.Hits) / float64(n)
+	}
+	return w
+}
+
+// recovery is the gate verdict: did the settled hit ratio come back to
+// within Tolerance of the pre-fault ratio?
+type recovery struct {
+	PreRatio     float64 `json:"pre_ratio"`
+	SettledRatio float64 `json:"settled_ratio"`
+	Tolerance    float64 `json:"tolerance"`
+	Pass         bool    `json:"pass"`
+}
+
+// chaosReport is the machine-readable run summary `make chaos-check`
+// asserts on.
+type chaosReport struct {
+	Schema    string        `json:"schema"`
+	Nodes     int           `json:"nodes"`
+	Failover  int           `json:"failover"`
+	Hedge     bool          `json:"hedge"`
+	Timeline  []chaos.Event `json:"timeline,omitempty"`
+	Snapshots []snapshot    `json:"snapshots,omitempty"`
+	PreFault  *window       `json:"pre_fault,omitempty"`
+	Settled   *window       `json:"settled,omitempty"`
+	Totals    snapshot      `json:"totals"`
+	Recovery  *recovery     `json:"recovery,omitempty"`
+}
+
+func isDisruptive(verb string) bool {
+	switch verb {
+	case "kill", "pause", "partition", "dead":
+		return true
+	}
+	return false
+}
+
+func isRepair(verb string) bool {
+	switch verb {
+	case "restart", "heal", "mark":
+		return true
+	}
+	return false
+}
+
+// report closes the books: a final snapshot, the pre-fault and settled
+// windows, and the recovery verdict when a tolerance is set.
+func (r *recorder) report(nodes, failover int, hedge bool, timeline []chaos.Event, tol float64) *chaosReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	final := snapshot{
+		AtMs:      time.Since(r.start).Milliseconds(),
+		Verb:      "end",
+		Hits:      r.inst.Hits.Value(),
+		Misses:    r.inst.Misses.Value(),
+		Failovers: r.inst.Failovers.Value(),
+		Exhausted: r.inst.Exhausted.Value(),
+		Live:      r.fleet.Live(),
+	}
+	rep := &chaosReport{
+		Schema: "repro/fleet-chaos-report/v1",
+		Nodes:  nodes, Failover: failover, Hedge: hedge,
+		Timeline: timeline, Snapshots: r.snaps, Totals: final,
+	}
+	// Pre-fault window: run start to the first disruption. Settled
+	// window: the last repair event to the end of the run.
+	var first, lastRepair *snapshot
+	for i := range r.snaps {
+		if first == nil && isDisruptive(r.snaps[i].Verb) {
+			first = &r.snaps[i]
+		}
+		if isRepair(r.snaps[i].Verb) {
+			lastRepair = &r.snaps[i]
+		}
+	}
+	if first != nil {
+		w := windowBetween(snapshot{}, *first)
+		rep.PreFault = &w
+	}
+	if lastRepair != nil {
+		w := windowBetween(*lastRepair, final)
+		rep.Settled = &w
+	}
+	if tol > 0 && rep.PreFault != nil && rep.Settled != nil {
+		rep.Recovery = &recovery{
+			PreRatio:     rep.PreFault.Ratio,
+			SettledRatio: rep.Settled.Ratio,
+			Tolerance:    tol,
+			Pass:         rep.Settled.Ratio >= rep.PreFault.Ratio-tol,
+		}
+	}
+	return rep
+}

@@ -12,17 +12,24 @@
 // breaker, and serve-stale — so the scrape sample shows the recovery
 // metrics alongside the cache ones.
 //
-//	go run ./examples/liveedge
-//	go run ./examples/liveedge -fault-rate 0.3 -fault-seed 9
+//	go run ./cmd/liveedge
+//	go run ./cmd/liveedge -fault-rate 0.3 -fault-seed 9
 //
 // With -serve the self-driving clients are replaced by an external
 // load source: the edge binds -listen (port 0 works), publishes its
 // URLs through -url-file once ready (the handshake `jsonreplay
 // -target-file` consumes), and serves until SIGINT/SIGTERM — how
-// `make slo-check` spins it up.
+// `make slo-check` spins it up. SIGTERM drains gracefully: readiness
+// flips off first, then in-flight requests get a shutdown window.
 //
-//	go run ./examples/liveedge -serve -listen 127.0.0.1:0 \
+//	go run ./cmd/liveedge -serve -listen 127.0.0.1:0 \
 //	    -url-file /tmp/edge.url -fault-rate 0
+//
+// With -chaos-listen the node also serves a fault-injection control
+// endpoint (see internal/fleet/chaos) on its own listener, published
+// as the third URL-file line; the jsonfleet supervisor uses it to
+// pause, partition, or play-dead this node mid-run without touching
+// the process.
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	cdnjson "repro"
 	"repro/internal/defend"
 	"repro/internal/edge"
+	"repro/internal/fleet/chaos"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
@@ -69,20 +77,22 @@ type edgeStack struct {
 
 func main() {
 	var (
-		faultRate = flag.Float64("fault-rate", 0.15, "probability an origin fetch fails (seeded, reproducible)")
-		faultSeed = flag.Uint64("fault-seed", 7, "seed for fault injection and backoff jitter")
-		serve     = flag.Bool("serve", false, "serve external traffic until SIGINT/SIGTERM instead of running the built-in clients")
-		listen    = flag.String("listen", "127.0.0.1:0", "edge listen address in -serve mode")
-		adminAddr = flag.String("admin", "127.0.0.1:0", "admin (metrics/readyz/pprof) listen address in -serve mode")
-		urlFile   = flag.String("url-file", "", "publish the edge and admin URLs to this file once ready (-serve mode handshake)")
-		defendOn  = flag.Bool("defend", false, "enable the detect-and-defend admission loop (rate limits, cache-key collapse, negative caching, abuser shedding)")
+		faultRate  = flag.Float64("fault-rate", 0.15, "probability an origin fetch fails (seeded, reproducible)")
+		faultSeed  = flag.Uint64("fault-seed", 7, "seed for fault injection and backoff jitter")
+		serve      = flag.Bool("serve", false, "serve external traffic until SIGINT/SIGTERM instead of running the built-in clients")
+		listen     = flag.String("listen", "127.0.0.1:0", "edge listen address in -serve mode")
+		adminAddr  = flag.String("admin", "127.0.0.1:0", "admin (metrics/readyz/pprof) listen address in -serve mode")
+		urlFile    = flag.String("url-file", "", "publish the edge and admin URLs to this file once ready (-serve mode handshake)")
+		defendOn   = flag.Bool("defend", false, "enable the detect-and-defend admission loop (rate limits, cache-key collapse, negative caching, abuser shedding)")
+		chaosAddr  = flag.String("chaos-listen", "", "serve the chaos fault-injection control endpoint on this address (-serve mode; published as the third URL-file line)")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second, "in-flight request window after SIGTERM before the listener closes")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), *faultSeed, nil).Component("liveedge")
 
 	st := buildEdgeStack(*faultRate, *faultSeed, *serve, *defendOn)
 	if *serve {
-		runServe(st, *listen, *adminAddr, *urlFile)
+		runServe(st, *listen, *adminAddr, *urlFile, *chaosAddr, *drainGrace)
 		return
 	}
 	runSelfDriven(st)
@@ -141,16 +151,50 @@ func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard, defended bool
 }
 
 // runServe is the harness-facing mode: bind real listeners, publish
-// URLs once ready, serve until a signal arrives, then report what was
-// served.
-func runServe(st *edgeStack, listen, adminAddr, urlFile string) {
+// URLs once ready, serve until a signal arrives, then drain and report
+// what was served.
+func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drainGrace time.Duration) {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		logger.Error("listen failed", "addr", listen, "err", err)
 		os.Exit(1)
 	}
 	edgeURL := "http://" + ln.Addr().String()
-	srv := &http.Server{Handler: st.edge}
+
+	// /healthz rides the data listener, not the admin mux, so the fleet
+	// prober shares fate with real traffic: an injected pause, partition,
+	// or play-dead hits the probe exactly as it hits requests. Draining
+	// (readiness off) fails the probe too, so a supervisor stops routing
+	// here before the listener closes.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !st.health.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/", st.edge)
+	var handler http.Handler = mux
+
+	// With a chaos listener, every edge request — /healthz included —
+	// routes through the injector; the control endpoint gets its own
+	// listener so a partitioned node can still be healed.
+	var chaosSrv *http.Server
+	var chaosURL string
+	if chaosAddr != "" {
+		injector := &chaos.Injector{}
+		handler = injector.Wrap(mux)
+		cln, err := net.Listen("tcp", chaosAddr)
+		if err != nil {
+			logger.Error("chaos listen failed", "addr", chaosAddr, "err", err)
+			os.Exit(1)
+		}
+		chaosURL = "http://" + cln.Addr().String()
+		chaosSrv = &http.Server{Handler: injector.ControlHandler()}
+		go chaosSrv.Serve(cln)
+	}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 
 	adminSrv, adminURL, err := obs.Serve(adminAddr, st.reg, st.health)
@@ -162,21 +206,34 @@ func runServe(st *edgeStack, listen, adminAddr, urlFile string) {
 	// THEN publish the URL file — the handshake's ordering contract.
 	st.health.SetReady(true)
 	if urlFile != "" {
-		if err := edge.WriteURLFile(urlFile, edgeURL, adminURL); err != nil {
+		urls := []string{edgeURL, adminURL}
+		if chaosURL != "" {
+			urls = append(urls, chaosURL)
+		}
+		if err := edge.WriteURLFile(urlFile, urls...); err != nil {
 			logger.Error("publishing URL file", "path", urlFile, "err", err)
 			os.Exit(1)
 		}
 	}
-	logger.Info("edge serving", "url", edgeURL, "admin", adminURL, "url_file", urlFile)
+	logger.Info("edge serving", "url", edgeURL, "admin", adminURL,
+		"chaos", chaosURL, "url_file", urlFile)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop()
 
-	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	// Graceful drain: readiness flips off first so probers and
+	// supervisors stop routing here, then in-flight requests get the
+	// grace window before the listener closes.
+	st.health.SetReady(false)
+	logger.Info("edge draining", "grace", drainGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
 	defer cancel()
 	srv.Shutdown(shutCtx)
+	if chaosSrv != nil {
+		chaosSrv.Close()
+	}
 	adminSrv.Close()
 
 	st.mu.Lock()

@@ -290,18 +290,65 @@ func fullKeyFor(r *http.Request) string {
 	return "http://" + r.Host + r.URL.String()
 }
 
-// client returns (creating) the state for key, sweeping stale entries
-// when the table is full.
+// evictDown shrinks m to at most target entries in three passes of
+// rising severity: idle entries go first, then low-value ones (decayed
+// suspicion, expired windows), and if the table is still over target —
+// an attacker churning identities fast enough that nothing ever looks
+// idle — arbitrary entries go. The hard bound always wins over
+// retained state: MaxClients is a memory promise, and a defense whose
+// bookkeeping an attacker can grow without limit is itself a
+// denial-of-service vector.
+func evictDown[K comparable, V any](m map[K]V, target int, idle, lowValue func(V) bool) {
+	if len(m) <= target {
+		return
+	}
+	for k, v := range m {
+		if idle(v) {
+			delete(m, k)
+			if len(m) <= target {
+				return
+			}
+		}
+	}
+	for k, v := range m {
+		if lowValue(v) {
+			delete(m, k)
+			if len(m) <= target {
+				return
+			}
+		}
+	}
+	for k := range m {
+		delete(m, k)
+		if len(m) <= target {
+			return
+		}
+	}
+}
+
+// evictTarget leaves headroom below MaxClients so the O(n) eviction
+// scan amortizes to O(1) per insert instead of running on every
+// request once the table fills.
+func (d *Defender) evictTarget() int {
+	t := d.cfg.MaxClients - d.cfg.MaxClients/8
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// client returns (creating) the state for key, evicting when the table
+// is full: idle clients first, then decayed-harmless ones, then — for
+// a rotating-identity flood where every entry is fresh — whatever must
+// go to keep the table bounded. Suspicious clients survive longest.
 func (d *Defender) client(key flows.ClientKey, now time.Time) *clientState {
 	c := d.clients[key]
 	if c == nil {
 		if len(d.clients) >= d.cfg.MaxClients {
 			idle := 2 * d.cfg.SuspicionHalfLife
-			for k, v := range d.clients {
-				if now.Sub(v.lastSeen) > idle {
-					delete(d.clients, k)
-				}
-			}
+			evictDown(d.clients, d.evictTarget(),
+				func(v *clientState) bool { return now.Sub(v.lastSeen) > idle },
+				func(v *clientState) bool { return v.decayed(now, d.cfg.SuspicionHalfLife) < 1 })
 		}
 		c = &clientState{}
 		d.clients[key] = c
@@ -311,17 +358,16 @@ func (d *Defender) client(key flows.ClientKey, now time.Time) *clientState {
 }
 
 // base returns (creating) the state for a base key, with the same
-// full-table sweep discipline as client state.
+// bounded-eviction discipline as client state; actively collapsed
+// bases survive longest.
 func (d *Defender) base(key string, now time.Time) *baseState {
 	b := d.bases[key]
 	if b == nil {
 		if len(d.bases) >= d.cfg.MaxClients {
 			idle := 2 * d.cfg.CollapseTTL
-			for k, v := range d.bases {
-				if now.Sub(v.lastSeen) > idle {
-					delete(d.bases, k)
-				}
-			}
+			evictDown(d.bases, d.evictTarget(),
+				func(v *baseState) bool { return now.Sub(v.lastSeen) > idle },
+				func(v *baseState) bool { return now.After(v.collapsedTo) })
 		}
 		b = &baseState{}
 		d.bases[key] = b
@@ -436,11 +482,9 @@ func (d *Defender) RecordOutcome(now time.Time, r *http.Request, cache logfmt.Ca
 		if e == nil || now.Sub(e.from) > d.cfg.BustWindow {
 			if e == nil {
 				if len(d.errs) >= d.cfg.MaxClients {
-					for k, v := range d.errs {
-						if now.Sub(v.from) > d.cfg.BustWindow {
-							delete(d.errs, k)
-						}
-					}
+					evictDown(d.errs, d.evictTarget(),
+						func(v *keyErr) bool { return now.Sub(v.from) > d.cfg.BustWindow },
+						func(v *keyErr) bool { return v.n < d.cfg.NegErrors/2 })
 				}
 				e = &keyErr{}
 				d.errs[full] = e

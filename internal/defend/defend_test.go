@@ -286,3 +286,77 @@ func TestConcurrency(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRotatingIdentityBounded: an attacker minting a fresh client
+// identity per request — so no entry ever looks idle — cannot grow the
+// state tables past MaxClients. The hard bound must hold even when
+// every entry is recent, and suspicious clients must survive the
+// eviction passes that fresh harmless ones do not.
+func TestRotatingIdentityBounded(t *testing.T) {
+	const maxClients = 64
+	d := New(Config{
+		MaxClients:        maxClients,
+		FanOutHosts:       2,
+		SuspicionLimit:    100, // never shed: we want the state retained
+		SuspicionHalfLife: time.Hour,
+		ClientRPS:         1e9, ClientBurst: 1 << 30,
+		MachineRPS: 1e9, MachineBurst: 1 << 30,
+		HumanRPS: 1e9, HumanBurst: 1 << 30,
+	})
+	now := epoch
+
+	// Mark a handful of clients suspicious via domain fan-out.
+	for s := 0; s < 4; s++ {
+		remote := fmt.Sprintf("10.9.0.%d:1", s)
+		for h := 0; h < 5; h++ {
+			r := getReq(fmt.Sprintf("http://host-%d.test/x", h), remote, "Sweep/1.0")
+			d.Admit(now, r)
+			d.RecordOutcome(now, r, logfmt.CacheMiss, 200)
+		}
+	}
+	suspicious := map[string]bool{}
+	d.mu.Lock()
+	for k, c := range d.clients {
+		if c.decayed(now, d.cfg.SuspicionHalfLife) >= 1 {
+			suspicious[fmt.Sprint(k)] = true
+		}
+	}
+	d.mu.Unlock()
+	if len(suspicious) == 0 {
+		t.Fatal("setup: no clients became suspicious")
+	}
+
+	// Rotation storm: 50x the table bound, every identity fresh, every
+	// request within one second — the idle sweep can never fire.
+	for i := 0; i < 50*maxClients; i++ {
+		remote := fmt.Sprintf("172.16.%d.%d:1", i/256%256, i%256)
+		r := getReq(fmt.Sprintf("http://b.test/obj?i=%d", i), remote, fmt.Sprintf("Rot/%d", i))
+		now = now.Add(time.Millisecond)
+		d.Admit(now, r)
+		d.RecordOutcome(now, r, logfmt.CacheMiss, 404)
+	}
+
+	d.mu.Lock()
+	nClients, nBases, nErrs := len(d.clients), len(d.bases), len(d.errs)
+	surviving := 0
+	for k, c := range d.clients {
+		if suspicious[fmt.Sprint(k)] && c.decayed(now, d.cfg.SuspicionHalfLife) >= 1 {
+			surviving++
+		}
+	}
+	d.mu.Unlock()
+
+	if nClients > maxClients {
+		t.Errorf("clients table grew to %d under rotation, bound %d", nClients, maxClients)
+	}
+	if nBases > maxClients {
+		t.Errorf("bases table grew to %d under rotation, bound %d", nBases, maxClients)
+	}
+	if nErrs > maxClients {
+		t.Errorf("errs table grew to %d under rotation, bound %d", nErrs, maxClients)
+	}
+	if surviving != len(suspicious) {
+		t.Errorf("only %d/%d suspicious clients survived eviction; harmless fresh entries should go first",
+			surviving, len(suspicious))
+	}
+}

@@ -2,8 +2,6 @@ package edge
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,9 +25,15 @@ type Server struct {
 // the object URL, as a CDN front-ends a rack: the same object always
 // lands on the same server, maximizing its cache utility. Pool routing
 // and the per-server request counters are safe for concurrent use.
+//
+// The routing itself lives in Ring — the same ring the multi-process
+// fleet front tier (internal/fleet) uses — so the in-process
+// simulation and the live fleet agree byte-for-byte on where an object
+// lands.
 type Pool struct {
 	servers []*Server
-	ring    []ringPoint
+	byName  map[string]*Server
+	ring    *Ring
 
 	// Admission optionally gates cache insertion on miss: when non-nil
 	// and false for a URL, the response is served from origin but not
@@ -81,11 +85,6 @@ func ConcurrentSecondHitFilter() func(url string) bool {
 	}
 }
 
-type ringPoint struct {
-	hash uint64
-	srv  *Server
-}
-
 // vnodesPerServer spreads each server over the ring for balance.
 const vnodesPerServer = 64
 
@@ -95,43 +94,31 @@ func NewPool(n int, capacityBytes int64, ttl time.Duration) *Pool {
 	if n <= 0 {
 		panic("edge: NewPool with n <= 0")
 	}
-	p := &Pool{}
+	p := &Pool{
+		byName: make(map[string]*Server, n),
+		ring:   NewRing(vnodesPerServer),
+	}
 	for i := 0; i < n; i++ {
 		srv := &Server{
 			Name:  fmt.Sprintf("edge-%02d", i),
 			Cache: NewCache(capacityBytes, ttl, 4),
 		}
 		p.servers = append(p.servers, srv)
-		h := fnv.New64a()
-		h.Write([]byte(srv.Name))
-		base := h.Sum64()
-		for v := 0; v < vnodesPerServer; v++ {
-			// splitmix64 spreads vnodes uniformly; raw FNV of similar
-			// strings clusters on the ring.
-			x := base + uint64(v)*0x9e3779b97f4a7c15
-			x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-			x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-			x ^= x >> 31
-			p.ring = append(p.ring, ringPoint{hash: x, srv: srv})
-		}
+		p.byName[srv.Name] = srv
+		p.ring.Add(srv.Name)
 	}
-	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
 	return p
 }
 
 // Servers returns the pool's servers.
 func (p *Pool) Servers() []*Server { return p.servers }
 
+// Ring exposes the pool's consistent-hash ring.
+func (p *Pool) Ring() *Ring { return p.ring }
+
 // Route returns the server responsible for the URL.
 func (p *Pool) Route(url string) *Server {
-	h := fnv.New64a()
-	h.Write([]byte(url))
-	key := h.Sum64()
-	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= key })
-	if i == len(p.ring) {
-		i = 0
-	}
-	return p.ring[i].srv
+	return p.byName[p.ring.Lookup(url)]
 }
 
 // Metrics aggregates cache metrics across servers.

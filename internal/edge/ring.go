@@ -1,0 +1,203 @@
+package edge
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named members, the routing seam
+// shared by the in-process Pool and the multi-process fleet front tier
+// (internal/fleet). Each member is spread over the ring as vnodes so
+// load stays balanced, and the ring for a given member set is a pure
+// function of the names: add order, removal history, and rebuild count
+// never change where a key lands. That determinism is what makes
+// rebalancing predictable — when one of N members leaves, only the
+// keys whose arcs it owned (~1/N of them) remap, and they remap the
+// same way on every process that agrees on the member set.
+//
+// Ring is safe for concurrent use: lookups take a read lock, and
+// membership changes (the health checker's up/down transitions)
+// rebuild the point list under the write lock.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members map[string]struct{}
+	points  []namedPoint
+}
+
+type namedPoint struct {
+	hash uint64
+	name string
+}
+
+// NewRing returns an empty ring with the given vnodes per member
+// (values <= 0 use the package default, vnodesPerServer).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = vnodesPerServer
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// memberPoints computes the ring points for one member name: an FNV
+// base spread by splitmix64, because raw FNV of similar strings
+// clusters on the ring.
+func memberPoints(name string, vnodes int, out []namedPoint) []namedPoint {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	base := h.Sum64()
+	for v := 0; v < vnodes; v++ {
+		x := base + uint64(v)*0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		out = append(out, namedPoint{hash: x, name: name})
+	}
+	return out
+}
+
+// keyHash is the ring position of a routing key: an FNV base finished
+// with the splitmix64 mixer. The mix is load-bearing — raw FNV-64a
+// propagates a trailing byte only ~40 bits up, so keys sharing a long
+// prefix ("http://host:port/object/1", ".../object/2", ...) cluster
+// into one narrow arc and a single member ends up owning all of them.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rebuild recomputes the sorted point list from the member set. Caller
+// holds the write lock.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for name := range r.members {
+		r.points = memberPoints(name, r.vnodes, r.points)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break by name so the ring is deterministic even in the
+		// astronomically unlikely event of a vnode hash collision.
+		return r.points[i].name < r.points[j].name
+	})
+}
+
+// Add inserts members (idempotent) and rebalances.
+func (r *Ring) Add(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, n := range names {
+		if _, ok := r.members[n]; !ok {
+			r.members[n] = struct{}{}
+			changed = true
+		}
+	}
+	if changed {
+		r.rebuild()
+	}
+}
+
+// Remove deletes members (idempotent) and rebalances.
+func (r *Ring) Remove(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, n := range names {
+		if _, ok := r.members[n]; ok {
+			delete(r.members, n)
+			changed = true
+		}
+	}
+	if changed {
+		r.rebuild()
+	}
+}
+
+// Has reports membership.
+func (r *Ring) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[name]
+	return ok
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns the member responsible for key, or "" on an empty
+// ring.
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(keyHash(key))].name
+}
+
+// LookupN returns up to n distinct members for key in ring order: the
+// owner first, then the successors a failover or hedge should try, in
+// the order they would inherit the key's arc if earlier members left.
+func (r *Ring) LookupN(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	start := r.search(keyHash(key))
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		name := r.points[(start+i)%len(r.points)].name
+		dup := false
+		for _, have := range out {
+			if have == name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise-after
+// hash. Caller holds a lock.
+func (r *Ring) search(hash uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/fleet"
+	"repro/internal/fleet/chaos"
+	"repro/internal/logfmt"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/synth"
+)
+
+// Fleet-chaos availability budgets: the error-rate ceiling and p99 SLO
+// the fault-tolerant run must hold while a node dies mid-replay, and
+// the hit-ratio recovery tolerance after it rejoins. The same numbers
+// gate the multi-process run in scripts/chaos-check.sh.
+const (
+	FleetChaosErrBudget  = 0.01
+	FleetChaosP99SLO     = 250 * time.Millisecond
+	FleetChaosRecoverTol = 0.10
+)
+
+// FleetChaosResult carries the fleet robustness experiment: an
+// open-loop replay through the front tier while one of three nodes is
+// killed and later rejoins, with and without failover.
+type FleetChaosResult struct {
+	Nodes    int
+	Rate     float64
+	Measured int64
+
+	// Fault-tolerant run (health checking + failover).
+	ErrorRate float64       // transport errors + 5xx, post-warmup
+	P99       time.Duration // coordinated-omission-safe intended p99
+	Failovers int64
+	Exhausted int64
+	// Hit ratios before the kill and after the rejoin settles, and the
+	// recovery verdict (settled within FleetChaosRecoverTol of pre).
+	PreFaultHitRatio float64
+	SettledHitRatio  float64
+	Recovered        bool
+	// PerNode tallies which node answered, as stamped in X-Fleet-Node —
+	// the dead node's share visibly shifts to its ring successors.
+	PerNode map[string]int64
+
+	// Baseline run: same kill, failover disabled and detection stalled.
+	// Violates must be true — a fleet that shrugs off a dead node with
+	// the machinery off would mean the gate tests nothing.
+	BaselineErrorRate float64
+	BaselineViolates  bool
+}
+
+// fleetChaosParams sizes the scenario; tests shrink it.
+type fleetChaosParams struct {
+	nodes    int
+	rate     float64
+	duration time.Duration
+	warmup   time.Duration
+	killAt   time.Duration
+	rejoinAt time.Duration
+	settleAt time.Duration
+}
+
+func defaultFleetChaosParams() fleetChaosParams {
+	return fleetChaosParams{
+		nodes:    3,
+		rate:     300,
+		duration: 6 * time.Second,
+		warmup:   300 * time.Millisecond,
+		killAt:   1500 * time.Millisecond,
+		rejoinAt: 3 * time.Second,
+		settleAt: 4500 * time.Millisecond,
+	}
+}
+
+// chaosNode is one in-process edge: a caching HTTPEdge behind a chaos
+// injector on a real loopback listener, with the same /healthz-on-the-
+// data-path contract cmd/liveedge serves.
+type chaosNode struct {
+	name string
+	inj  *chaos.Injector
+	srv  *httptest.Server
+}
+
+func newChaosNode(name string) *chaosNode {
+	n := &chaosNode{name: name, inj: &chaos.Injector{}}
+	e := &edge.HTTPEdge{
+		Cache: edge.NewCache(8<<20, time.Minute, 4),
+		Origin: &edge.WildcardOrigin{
+			Inner:   &edge.JSONOrigin{Articles: 40},
+			Latency: time.Millisecond,
+		},
+	}
+	e.Obs = edge.NewInstrumentation(obs.NewRegistry())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/", e)
+	n.srv = httptest.NewServer(n.inj.Wrap(mux))
+	return n
+}
+
+// injectorTarget adapts the in-process nodes to chaos.Target: "kill"
+// is a full partition (connections sever, probes fail) and "restart"
+// heals it — process identity and ports never change, which is exactly
+// what keeps this variant deterministic enough to assert on. The
+// process-level kill/respawn path is exercised by cmd/jsonfleet under
+// scripts/chaos-check.sh.
+type injectorTarget map[string]*chaos.Injector
+
+func (t injectorTarget) find(node string) (*chaos.Injector, error) {
+	inj := t[node]
+	if inj == nil {
+		return nil, fmt.Errorf("fleetchaos: unknown node %q", node)
+	}
+	return inj, nil
+}
+
+func (t injectorTarget) Kill(node string) error {
+	inj, err := t.find(node)
+	if err == nil {
+		inj.Set(chaos.ModePartition, 0)
+	}
+	return err
+}
+
+func (t injectorTarget) Restart(node string) error {
+	inj, err := t.find(node)
+	if err == nil {
+		inj.Heal()
+	}
+	return err
+}
+
+func (t injectorTarget) Inject(node string, mode chaos.Mode, delay time.Duration) error {
+	inj, err := t.find(node)
+	if err == nil {
+		inj.Set(mode, delay)
+	}
+	return err
+}
+
+// fleetChaosRun drives one replay through a fresh fleet while the kill
+// /rejoin timeline executes. With failover true the fleet gets fast
+// probes and bounded retries; with it false the dead node stays in the
+// ring and every request it owns fails — the negative control.
+func fleetChaosRun(records []logfmt.Record, p fleetChaosParams, failover bool) (*replay.Result, *fleet.Instrumentation, []fleetChaosSnap, error) {
+	nodes := make([]*chaosNode, p.nodes)
+	members := make([]*fleet.Member, p.nodes)
+	target := injectorTarget{}
+	for i := range nodes {
+		nodes[i] = newChaosNode(fmt.Sprintf("edge-%02d", i))
+		defer nodes[i].srv.Close()
+		members[i] = &fleet.Member{
+			Name:      nodes[i].name,
+			URL:       nodes[i].srv.URL,
+			HealthURL: nodes[i].srv.URL + "/healthz",
+		}
+		target[nodes[i].name] = nodes[i].inj
+	}
+
+	cfg := fleet.Config{
+		Probe:        25 * time.Millisecond,
+		ProbeTimeout: 150 * time.Millisecond,
+		SuspectAfter: 1,
+		DownAfter:    3,
+		UpAfter:      2,
+		MaxFailover:  2,
+	}
+	if !failover {
+		// The negative control: no retries, and probes too slow to evict
+		// the dead node within the run — requests it owns must fail.
+		cfg.MaxFailover = -1
+		cfg.Probe = time.Hour
+	}
+	f := fleet.New(cfg, members...)
+	reg := obs.NewRegistry()
+	inst := f.Instrument(reg)
+	stopHealth := f.StartHealth()
+	defer stopHealth()
+	front := httptest.NewServer(f)
+	defer front.Close()
+
+	timeline := []chaos.Event{
+		{At: p.killAt, Verb: "kill", Node: "edge-01"},
+		{At: p.rejoinAt, Verb: "restart", Node: "edge-01"},
+		{At: p.settleAt, Verb: "mark", Node: "settled"},
+	}
+	var snaps []fleetChaosSnap
+	ctl := &chaos.Controller{
+		Target: target,
+		OnEvent: func(ev chaos.Event) {
+			snaps = append(snaps, fleetChaosSnap{
+				verb: ev.Verb, hits: inst.Hits.Value(), misses: inst.Misses.Value(),
+			})
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctlErr := make(chan error, 1)
+	go func() { ctlErr <- ctl.Run(ctx, timeline) }()
+
+	res, err := replay.Run(ctx, records, replay.Config{
+		Target:      front.URL,
+		Rate:        p.rate,
+		Duration:    p.duration,
+		Warmup:      p.warmup,
+		Concurrency: 32,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := <-ctlErr; err != nil {
+		return nil, nil, nil, err
+	}
+	// Final bookend snapshot for the settled window.
+	snaps = append(snaps, fleetChaosSnap{
+		verb: "end", hits: inst.Hits.Value(), misses: inst.Misses.Value(),
+	})
+	return res, inst, snaps, nil
+}
+
+// fleetChaosSnap is a hit/miss counter snapshot at one timeline event.
+type fleetChaosSnap struct {
+	verb         string
+	hits, misses int64
+}
+
+// ratioBetween is the hit ratio across the counter delta of two snaps.
+func ratioBetween(from, to fleetChaosSnap) float64 {
+	h, m := to.hits-from.hits, to.misses-from.misses
+	if h+m <= 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// fleetChaosWindows extracts the pre-kill and post-settle hit ratios.
+func fleetChaosWindows(snaps []fleetChaosSnap) (pre, settled float64) {
+	var zero fleetChaosSnap
+	for i, s := range snaps {
+		switch s.verb {
+		case "kill":
+			pre = ratioBetween(zero, s)
+		case "mark":
+			if i+1 < len(snaps) {
+				settled = ratioBetween(s, snaps[len(snaps)-1])
+			}
+		}
+	}
+	return pre, settled
+}
+
+// fleetChaosConfig is a compact synthetic capture whose URL population
+// re-loops under the fixed-rate schedule, so the fleet's caches see
+// repeat traffic and a hit ratio worth measuring.
+func (r *Runner) fleetChaosConfig() synth.Config {
+	cfg := synth.ShortTermConfig(r.cfg.Seed+11, 1)
+	cfg.Duration = 2 * time.Minute
+	cfg.TargetRequests = 2000
+	cfg.Domains = 6
+	cfg.Shards = 0
+	return cfg
+}
+
+// FleetChaos runs the fault-tolerant fleet experiment over real HTTP:
+// three caching edge nodes behind the front-tier router, an open-loop
+// replay through it at a fixed rate, and a chaos timeline that kills
+// one node mid-run and rejoins it. The fault-tolerant configuration
+// must hold the availability budget (errors, p99, hit-ratio recovery);
+// the same kill with failover disabled must violate it, proving the
+// gate has teeth. Real sockets and real time make this run-to-run
+// noisy, so it lives outside RunAll's byte-identical report (invoke it
+// with jsonrepro -only fleetchaos).
+func (r *Runner) FleetChaos(w io.Writer) (FleetChaosResult, error) {
+	return r.fleetChaos(w, defaultFleetChaosParams())
+}
+
+func (r *Runner) fleetChaos(w io.Writer, p fleetChaosParams) (FleetChaosResult, error) {
+	w = out(w)
+	records, err := core.Collect(core.SynthSource(r.fleetChaosConfig()))
+	if err != nil {
+		return FleetChaosResult{}, err
+	}
+	// GETs only: the front hedges and fails over GETs freely, and the
+	// availability claim should not hinge on POST bodies.
+	gets := records[:0]
+	for _, rec := range records {
+		if rec.Method == "GET" {
+			gets = append(gets, rec)
+		}
+	}
+	records = gets
+
+	res, inst, snaps, err := fleetChaosRun(records, p, true)
+	if err != nil {
+		return FleetChaosResult{}, err
+	}
+	pre, settled := fleetChaosWindows(snaps)
+	out := FleetChaosResult{
+		Nodes:            p.nodes,
+		Rate:             p.rate,
+		Measured:         res.Measured,
+		ErrorRate:        res.AvailabilityErrorRate(),
+		P99:              time.Duration(res.Latency.Quantile(0.99)),
+		Failovers:        inst.Failovers.Value(),
+		Exhausted:        inst.Exhausted.Value(),
+		PreFaultHitRatio: pre,
+		SettledHitRatio:  settled,
+		Recovered:        settled >= pre-FleetChaosRecoverTol,
+		PerNode:          res.Node,
+	}
+
+	base, _, _, err := fleetChaosRun(records, p, false)
+	if err != nil {
+		return FleetChaosResult{}, err
+	}
+	out.BaselineErrorRate = base.AvailabilityErrorRate()
+	out.BaselineViolates = out.BaselineErrorRate > FleetChaosErrBudget
+
+	fmt.Fprintln(w, "Fault-tolerant edge fleet under chaos (robustness)")
+	fmt.Fprintf(w, "%d nodes, %.0f req/s open-loop, kill edge-01 at %s, rejoin at %s\n\n",
+		p.nodes, p.rate, p.killAt, p.rejoinAt)
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "", "failover on", "failover off")
+	fmt.Fprintf(w, "%-28s %11.2f%% %11.2f%%\n", "error rate (transport+5xx)",
+		out.ErrorRate*100, out.BaselineErrorRate*100)
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "budget (err < 1%)",
+		verdict(out.ErrorRate <= FleetChaosErrBudget), verdict(out.BaselineErrorRate <= FleetChaosErrBudget))
+	fmt.Fprintf(w, "\nintended p99 %.1f ms (SLO %s)   failovers %d   exhausted %d\n",
+		float64(out.P99)/1e6, FleetChaosP99SLO, out.Failovers, out.Exhausted)
+	fmt.Fprintf(w, "hit ratio: pre-kill %.2f -> settled %.2f (tolerance %.2f, recovered=%v)\n",
+		out.PreFaultHitRatio, out.SettledHitRatio, FleetChaosRecoverTol, out.Recovered)
+	nodes := make([]string, 0, len(out.PerNode))
+	for n := range out.PerNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(w, "per-node responses:")
+	for _, n := range nodes {
+		fmt.Fprintf(w, "  %s=%d", n, out.PerNode[n])
+	}
+	fmt.Fprintln(w)
+	return out, nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

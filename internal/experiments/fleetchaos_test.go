@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestFleetChaosScaled runs the fleet-chaos scenario at reduced scale:
+// a kill/rejoin cycle compressed into ~2.5 s per run. The assertions
+// are the acceptance criteria, just with the clock shrunk — the full-
+// size variant runs under `make chaos-check`.
+func TestFleetChaosScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-HTTP fleet scenario; skipped with -short")
+	}
+	r := NewRunner(DefaultConfig())
+	res, err := r.fleetChaos(io.Discard, fleetChaosParams{
+		nodes:    3,
+		rate:     200,
+		duration: 2500 * time.Millisecond,
+		warmup:   200 * time.Millisecond,
+		killAt:   600 * time.Millisecond,
+		rejoinAt: 1300 * time.Millisecond,
+		settleAt: 1900 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fleetChaos: %v", err)
+	}
+	if res.ErrorRate > FleetChaosErrBudget {
+		t.Errorf("failover-on error rate %.4f exceeds budget %.2f", res.ErrorRate, FleetChaosErrBudget)
+	}
+	if res.P99 > FleetChaosP99SLO {
+		t.Errorf("intended p99 %s exceeds SLO %s", res.P99, FleetChaosP99SLO)
+	}
+	if !res.Recovered {
+		t.Errorf("hit ratio did not recover: pre %.3f settled %.3f", res.PreFaultHitRatio, res.SettledHitRatio)
+	}
+	if !res.BaselineViolates {
+		t.Errorf("negative control passed the budget (%.4f): the gate tests nothing", res.BaselineErrorRate)
+	}
+	if len(res.PerNode) < 2 {
+		t.Errorf("per-node breakdown too thin: %v", res.PerNode)
+	}
+	if res.Measured == 0 {
+		t.Error("no measured requests")
+	}
+}

@@ -1,0 +1,137 @@
+// Package chaos is the fleet's deterministic fault injector: an HTTP
+// middleware that makes one node misbehave on command (pause, drop
+// connections, play dead), a scripted timeline of such commands, and a
+// controller that executes a timeline against a running fleet. Faults
+// are injected at the node boundary — the front tier, health checker,
+// and replay harness all see exactly what a real slow, partitioned, or
+// crashed node would produce — so availability claims are measured,
+// not assumed.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Mode is a node's injected failure mode.
+type Mode string
+
+const (
+	// ModeOK: no fault; requests pass through.
+	ModeOK Mode = "ok"
+	// ModePause: every request (including health probes) is delayed by
+	// the configured duration before being served — a slow node.
+	ModePause Mode = "pause"
+	// ModePartition: every connection is severed mid-request without a
+	// response — the front sees what a network partition produces
+	// (EOF / connection reset), not a clean HTTP error.
+	ModePartition Mode = "partition"
+	// ModeDead: every request is answered 503 — a crashed-but-listening
+	// process (systemd restarting it, a wedged event loop).
+	ModeDead Mode = "dead"
+)
+
+// valid reports whether m is a recognized mode.
+func (m Mode) valid() bool {
+	switch m {
+	case ModeOK, ModePause, ModePartition, ModeDead:
+		return true
+	}
+	return false
+}
+
+// Injector wraps a node's handler and applies the currently-set fault
+// to every request. The zero value is usable and starts in ModeOK.
+type Injector struct {
+	mu    sync.RWMutex
+	mode  Mode
+	delay time.Duration
+}
+
+// Set switches the injected fault. delay is only meaningful for
+// ModePause.
+func (in *Injector) Set(mode Mode, delay time.Duration) {
+	in.mu.Lock()
+	in.mode = mode
+	in.delay = delay
+	in.mu.Unlock()
+}
+
+// Heal returns the node to ModeOK.
+func (in *Injector) Heal() { in.Set(ModeOK, 0) }
+
+// State returns the current fault.
+func (in *Injector) State() (Mode, time.Duration) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.mode == "" {
+		return ModeOK, 0
+	}
+	return in.mode, in.delay
+}
+
+// Wrap returns next with the injector's fault applied in front of it.
+// Wrap the node's whole mux — health endpoint included — so the
+// fleet's prober sees the fault too.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mode, delay := in.State()
+		switch mode {
+		case ModePause:
+			time.Sleep(delay)
+		case ModePartition:
+			// Abort the connection without writing a response: the client
+			// observes EOF/ECONNRESET, indistinguishable from a mid-flight
+			// network partition.
+			panic(http.ErrAbortHandler)
+		case ModeDead:
+			http.Error(w, "chaos: node dead", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ControlHandler returns the injector's HTTP control surface, served
+// on a separate listener so faults never block their own cure:
+//
+//	GET  /chaos              -> {"mode":"ok","delay_ms":0}
+//	POST /chaos?mode=pause&delay=300ms
+//	POST /chaos?mode=partition
+//	POST /chaos?mode=ok      (heal)
+func (in *Injector) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			mode, delay := in.State()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"mode": string(mode), "delay_ms": delay.Milliseconds(),
+			})
+		case http.MethodPost:
+			mode := Mode(r.URL.Query().Get("mode"))
+			if !mode.valid() {
+				http.Error(w, fmt.Sprintf("chaos: unknown mode %q", mode), http.StatusBadRequest)
+				return
+			}
+			var delay time.Duration
+			if s := r.URL.Query().Get("delay"); s != "" {
+				d, err := time.ParseDuration(s)
+				if err != nil || d < 0 {
+					http.Error(w, fmt.Sprintf("chaos: bad delay %q", s), http.StatusBadRequest)
+					return
+				}
+				delay = d
+			}
+			in.Set(mode, delay)
+			fmt.Fprintf(w, "chaos: mode=%s delay=%s\n", mode, delay)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}

@@ -122,6 +122,12 @@ type Result struct {
 	// holds one intended-latency histogram per type.
 	MIME        map[string]int64
 	MIMELatency map[string]*obs.HDRHistogram
+	// Node tallies responses by the X-Fleet-Node header a fleet front
+	// tier stamps (empty when replaying a single edge); NodeLatency
+	// holds one intended-latency histogram per node — the per-node view
+	// that shows traffic shifting off a killed member and back.
+	Node        map[string]int64
+	NodeLatency map[string]*obs.HDRHistogram
 	// Start is when scheduling began; Wall is the real elapsed time
 	// until the last response.
 	Start time.Time
@@ -134,6 +140,24 @@ func (r *Result) ErrorRate() float64 {
 		return 0
 	}
 	return float64(r.MeasuredErrors) / float64(r.Measured)
+}
+
+// AvailabilityErrorRate folds transport failures and 5xx responses
+// into one unavailability fraction over the measurement window. A
+// fleet front tier answers 502 when failover is exhausted — "up" by
+// transport standards, down by any client's — so availability gates
+// (slo metric "avail") use this instead of ErrorRate.
+func (r *Result) AvailabilityErrorRate() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	bad := r.MeasuredErrors
+	for status, n := range r.Status {
+		if status >= 500 {
+			bad += n
+		}
+	}
+	return float64(bad) / float64(r.Measured)
 }
 
 // AchievedRPS returns completed requests per second of wall time.
@@ -163,6 +187,8 @@ func newResult() *Result {
 		StatusLatency: make(map[int]*obs.HDRHistogram),
 		MIME:          make(map[string]int64),
 		MIMELatency:   make(map[string]*obs.HDRHistogram),
+		Node:          make(map[string]int64),
+		NodeLatency:   make(map[string]*obs.HDRHistogram),
 	}
 }
 
@@ -228,7 +254,7 @@ func Run(ctx context.Context, records []logfmt.Record, cfg Config) (*Result, err
 	res.Start = start
 	warmupEnd := start.Add(cfg.Warmup)
 
-	record := func(t ticket, svcStart, end time.Time, status int, mime string, err error) {
+	record := func(t ticket, svcStart, end time.Time, status int, mime, node string, err error) {
 		sent.Add(1)
 		if err != nil {
 			errs.Add(1)
@@ -273,6 +299,15 @@ func Run(ctx context.Context, records []logfmt.Record, cfg Config) (*Result, err
 			}
 			mh.Record(intendedLat)
 		}
+		if node != "" {
+			res.Node[node]++
+			nh := res.NodeLatency[node]
+			if nh == nil {
+				nh = obs.NewHDRHistogram(obs.LatencyHDRConfig())
+				res.NodeLatency[node] = nh
+			}
+			nh.Record(intendedLat)
+		}
 	}
 
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -289,13 +324,13 @@ func Run(ctx context.Context, records []logfmt.Record, cfg Config) (*Result, err
 					promInflight.Inc()
 				}
 				svcStart := time.Now()
-				status, mime, err := send(ctx, cfg, t.rec)
+				status, mime, node, err := send(ctx, cfg, t.rec)
 				end := time.Now()
 				inflight.Add(-1)
 				if promInflight != nil {
 					promInflight.Dec()
 				}
-				record(t, svcStart, end, status, mime, err)
+				record(t, svcStart, end, status, mime, node, err)
 			}
 		}()
 	}
@@ -400,12 +435,13 @@ func hdrMs(h *obs.HDRHistogram, q float64) string {
 // and the record's client identity (X-Client-Id, which a defending edge
 // configured with a trusted ClientIDHeader keys its per-client state
 // on — every replayed request otherwise shares one socket), and returns
-// the status and normalized response MIME type.
-func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, string, error) {
+// the status, normalized response MIME type, and the answering fleet
+// node (X-Fleet-Node; empty against a single edge).
+func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, string, string, error) {
 	url := cfg.Target + rec.Path()
 	req, err := http.NewRequestWithContext(ctx, rec.Method, url, nil)
 	if err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
 	if rec.UserAgent != "" {
 		req.Header.Set("User-Agent", rec.UserAgent)
@@ -413,11 +449,12 @@ func send(ctx context.Context, cfg Config, rec *logfmt.Record) (int, string, err
 	req.Header.Set("X-Client-Id", fmt.Sprintf("%016x", rec.ClientID))
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, normalizeMIME(resp.Header.Get("Content-Type")), nil
+	return resp.StatusCode, normalizeMIME(resp.Header.Get("Content-Type")),
+		resp.Header.Get("X-Fleet-Node"), nil
 }
 
 // normalizeMIME strips parameters and lowercases a Content-Type header

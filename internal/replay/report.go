@@ -26,13 +26,14 @@ type Report struct {
 	RunID     string `json:"run_id"`
 	Generated string `json:"generated"`
 
-	Config     ReportConfig  `json:"config"`
-	Throughput Throughput    `json:"throughput"`
-	Errors     ErrorBudget   `json:"errors"`
-	Latency    LatencyTable  `json:"latency"`
-	PerStatus  []ClassStats  `json:"per_status,omitempty"`
-	PerMIME    []ClassStats  `json:"per_mime,omitempty"`
-	SLO        *SLOReport    `json:"slo,omitempty"`
+	Config     ReportConfig    `json:"config"`
+	Throughput Throughput      `json:"throughput"`
+	Errors     ErrorBudget     `json:"errors"`
+	Latency    LatencyTable    `json:"latency"`
+	PerStatus  []ClassStats    `json:"per_status,omitempty"`
+	PerMIME    []ClassStats    `json:"per_mime,omitempty"`
+	PerNode    []ClassStats    `json:"per_node,omitempty"`
+	SLO        *SLOReport      `json:"slo,omitempty"`
 	Intended   obs.HDRSnapshot `json:"intended_hdr"`
 	Service    obs.HDRSnapshot `json:"service_hdr"`
 }
@@ -158,6 +159,10 @@ func BuildReport(runID, input string, records int, cfg Config, res *Result, slo 
 		rep.PerMIME = append(rep.PerMIME, classStats(mime, n, res.MIMELatency[mime]))
 	}
 	sort.Slice(rep.PerMIME, func(i, j int) bool { return rep.PerMIME[i].Key < rep.PerMIME[j].Key })
+	for node, n := range res.Node {
+		rep.PerNode = append(rep.PerNode, classStats(node, n, res.NodeLatency[node]))
+	}
+	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Key < rep.PerNode[j].Key })
 	if slo != nil {
 		violations := slo.Eval(res)
 		rep.SLO = &SLOReport{Expr: slo.Expr, Pass: len(violations) == 0, Violations: violations}

@@ -14,10 +14,13 @@ import (
 // the harness.
 //
 // Grammar per clause: METRIC OP VALUE, where METRIC is pNN / pNNN
-// (p50, p95, p99, p999 = 99.9th, ...), "mean", "max", "err", or
-// "rps"; OP is one of < <= > >=; VALUE is a Go duration for latency
-// metrics (50ms, 1.5s), a percentage or fraction for err (1% or
-// 0.01), and a plain number for rps.
+// (p50, p95, p99, p999 = 99.9th, ...), "mean", "max", "err", "avail",
+// or "rps"; OP is one of < <= > >=; VALUE is a Go duration for latency
+// metrics (50ms, 1.5s), a percentage or fraction for err and avail
+// (1% or 0.01), and a plain number for rps. "err" is the transport
+// error fraction; "avail" additionally counts 5xx responses — the
+// clause for gating a fleet front tier, which turns a dead backend
+// into a well-formed 502.
 type SLO struct {
 	Expr    string
 	Clauses []SLOClause
@@ -29,6 +32,7 @@ type sloKind uint8
 const (
 	sloLatency sloKind = iota // quantile/mean/max of intended latency
 	sloErr                    // transport error fraction
+	sloAvail                  // transport errors + 5xx fraction
 	sloRPS                    // achieved requests per second
 )
 
@@ -93,8 +97,11 @@ func parseClause(raw string) (SLOClause, error) {
 	}
 
 	switch {
-	case metric == "err":
+	case metric == "err", metric == "avail":
 		c.kind = sloErr
+		if metric == "avail" {
+			c.kind = sloAvail
+		}
 		frac, err := parseFraction(value)
 		if err != nil {
 			return c, err
@@ -132,7 +139,7 @@ func parseClause(raw string) (SLOClause, error) {
 		}
 		c.threshold = d.Seconds()
 	default:
-		return c, fmt.Errorf("unknown metric %q (want pNN, mean, max, err, rps)", metric)
+		return c, fmt.Errorf("unknown metric %q (want pNN, mean, max, err, avail, rps)", metric)
 	}
 	return c, nil
 }
@@ -184,6 +191,9 @@ func (c SLOClause) actual(res *Result) (value float64, display string) {
 	switch c.kind {
 	case sloErr:
 		v := res.ErrorRate()
+		return v, fmt.Sprintf("%.2f%%", v*100)
+	case sloAvail:
+		v := res.AvailabilityErrorRate()
 		return v, fmt.Sprintf("%.2f%%", v*100)
 	case sloRPS:
 		v := res.AchievedRPS()

@@ -112,6 +112,40 @@ func TestSLOEval(t *testing.T) {
 	}
 }
 
+func TestSLOAvailCountsServerErrors(t *testing.T) {
+	// 90 good responses, 10 well-formed 502s, no transport errors: the
+	// transport budget passes but availability must not — this is the
+	// fleet-front failure mode (failover exhausted -> 502).
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = 2 * time.Millisecond
+	}
+	res := sloResult(lats, 0, time.Second)
+	res.Status[200] = 90
+	res.Status[502] = 10
+
+	slo, err := ParseSLO("err<1%,avail<1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := slo.Eval(res)
+	if len(v) != 1 || !strings.Contains(v[0], "avail<1% violated") {
+		t.Fatalf("want exactly the avail violation, got %v", v)
+	}
+	if got := res.AvailabilityErrorRate(); math.Abs(got-0.10) > 1e-9 {
+		t.Errorf("AvailabilityErrorRate = %v, want 0.10", got)
+	}
+
+	// Transport errors count toward availability too.
+	res.MeasuredErrors = 5
+	if got := res.AvailabilityErrorRate(); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("with transport errors: %v, want 0.15", got)
+	}
+	if _, err := ParseSLO("avail<oops"); err == nil {
+		t.Error("bad avail threshold accepted")
+	}
+}
+
 func TestSLOGatesOnIntendedNotService(t *testing.T) {
 	// The intended distribution has a fat tail the service one lacks;
 	// the gate must read the intended one.

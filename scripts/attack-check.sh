@@ -23,6 +23,8 @@
 #   OUT            benign replay report path      (default replay-attack.json)
 set -eu
 
+. "$(dirname "$0")/lib.sh"
+
 AMP_CEILING="${AMP_CEILING:-0.5}"
 MIN_UNDEFENDED="${MIN_UNDEFENDED:-0.4}"
 SPEED="${SPEED:-30}"
@@ -36,18 +38,10 @@ cd "$(dirname "$0")/.."
 work="$(mktemp -d)"
 edge_pid=""
 cleanup() {
-    [ -n "$edge_pid" ] && kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null
+    stop_pid "$edge_pid"
     rm -rf "$work"
 }
 trap cleanup EXIT INT TERM
-
-fetch_url() {
-    if command -v curl >/dev/null 2>&1; then
-        curl -fsS "$1"
-    else
-        wget -qO- "$1"
-    fi
-}
 
 # origin_fetches ADMIN_URL: current origin-fetch count from /metrics.
 origin_fetches() {
@@ -57,7 +51,7 @@ origin_fetches() {
 }
 
 echo "attack-check: building liveedge, jsongen, jsonreplay"
-"$GO" build -o "$work/liveedge" ./examples/liveedge
+"$GO" build -o "$work/liveedge" ./cmd/liveedge
 "$GO" build -o "$work/jsongen" ./cmd/jsongen
 "$GO" build -o "$work/jsonreplay" ./cmd/jsonreplay
 
@@ -81,13 +75,14 @@ run_stack() {
     label="$1"; edge_flags="$2"; slo_expr="$3"
     urlfile="$work/$label.url"
     # shellcheck disable=SC2086
-    "$work/liveedge" -serve -fault-rate 0 $edge_flags -url-file "$urlfile" \
-        2>"$work/$label.log" &
+    "$work/liveedge" -serve -fault-rate 0 -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+        $edge_flags -url-file "$urlfile" 2>"$work/$label.log" &
     edge_pid=$!
+    await_url_file "$urlfile" "$edge_pid" "$work/$label.log" >&2
 
     "$work/jsonreplay" -i "$work/benign.tsv" -target-file "$urlfile" \
         -speed "$SPEED" -progress 0 >/dev/null
-    admin=$(sed -n 2p "$urlfile")
+    admin=$(url_line "$urlfile" 2)
     f0=$(origin_fetches "$admin")
     if [ -n "$slo_expr" ]; then
         "$work/jsonreplay" -i "$work/benign.tsv" -target-file "$urlfile" \
@@ -106,7 +101,7 @@ run_stack() {
         -speed "$SPEED" -progress 0 >/dev/null
     f2=$(origin_fetches "$admin")
 
-    kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null || true
+    stop_pid "$edge_pid" >&2
     edge_pid=""
     awk -v b=$((f1 - f0)) -v d=$((f2 - f1)) -v n="$n_attack" \
         'BEGIN { a = (d - b) / n; if (a < 0) a = 0; printf "%.3f", a }'

@@ -1,0 +1,58 @@
+#!/bin/sh
+# lib.sh: shared plumbing for the CI gate scripts (slo-check,
+# attack-check, chaos-check). Sourced, not executed.
+#
+# The common shape of every gate: build binaries into a scratch dir,
+# start a server on a dynamic loopback port (127.0.0.1:0), wait for its
+# atomic URL-file handshake, drive load, tear down. The failure mode
+# worth engineering against is a server that dies during startup — a
+# bare wait on the URL file then blocks for the client's full timeout
+# against a corpse and reports a useless "no URL published". These
+# helpers poll the handshake file *and* the server pid together, so a
+# crash fails the gate in milliseconds with the server's own log.
+
+# await_url_file FILE PID LOG [TIMEOUT_S]
+# Wait for FILE to be published (non-empty; the writer renames it into
+# place atomically) while process PID stays alive. On death or timeout,
+# dump LOG to stderr and fail.
+await_url_file() {
+    _auf_file="$1"; _auf_pid="$2"; _auf_log="$3"; _auf_timeout="${4:-15}"
+    _auf_deadline=$(( $(date +%s) + _auf_timeout ))
+    while ! [ -s "$_auf_file" ]; do
+        if ! kill -0 "$_auf_pid" 2>/dev/null; then
+            echo "lib: server (pid $_auf_pid) died before publishing $_auf_file; log follows" >&2
+            [ -n "$_auf_log" ] && [ -f "$_auf_log" ] && cat "$_auf_log" >&2
+            return 1
+        fi
+        if [ "$(date +%s)" -ge "$_auf_deadline" ]; then
+            echo "lib: timed out after ${_auf_timeout}s waiting for $_auf_file; log follows" >&2
+            [ -n "$_auf_log" ] && [ -f "$_auf_log" ] && cat "$_auf_log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# url_line FILE N -> the Nth published URL (1=data, 2=admin, 3=chaos).
+url_line() {
+    sed -n "${2}p" "$1"
+}
+
+# stop_pid PID [SIGNAL]
+# Stop a background server and reap it; tolerant of it already being
+# gone. Default signal TERM (liveedge/jsonfleet drain gracefully on
+# it).
+stop_pid() {
+    [ -n "${1:-}" ] || return 0
+    kill -s "${2:-TERM}" "$1" 2>/dev/null || true
+    wait "$1" 2>/dev/null || true
+}
+
+# fetch_url URL -> body on stdout, via curl or wget.
+fetch_url() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}

@@ -14,6 +14,8 @@
 #   OUT      replay report path       (default replay-slo.json)
 set -eu
 
+. "$(dirname "$0")/lib.sh"
+
 SLO="${SLO:-p99<250ms,err<1%}"
 RATE="${RATE:-400}"
 DURATION="${DURATION:-6s}"
@@ -27,24 +29,28 @@ cd "$(dirname "$0")/.."
 work="$(mktemp -d)"
 edge_pid=""
 cleanup() {
-    [ -n "$edge_pid" ] && kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null
+    stop_pid "$edge_pid"
     rm -rf "$work"
 }
 trap cleanup EXIT INT TERM
 
 echo "slo-check: building liveedge, jsongen, jsonreplay"
-"$GO" build -o "$work/liveedge" ./examples/liveedge
+"$GO" build -o "$work/liveedge" ./cmd/liveedge
 "$GO" build -o "$work/jsongen" ./cmd/jsongen
 "$GO" build -o "$work/jsonreplay" ./cmd/jsonreplay
 
 echo "slo-check: generating sharded synthetic stream ($SHARDS shards)"
 "$work/jsongen" -preset short -scale 0.005 -shards "$SHARDS" -q -o "$work/stream.tsv.gz"
 
-# Start the edge with faults off; it binds port 0 and publishes its URLs
-# once ready. The replayer waits on the URL file and probes /readyz, so
-# there is no sleep-and-hope between the two processes.
-"$work/liveedge" -serve -fault-rate 0 -url-file "$work/edge.url" 2>"$work/edge.log" &
+# Start the edge with faults off on dynamic loopback ports; it
+# publishes its URLs once ready. We wait on the handshake file with a
+# pid-liveness check (a startup crash fails here, with the edge log,
+# instead of hanging the replayer), and the replayer then re-reads the
+# file and probes /readyz itself — no sleep-and-hope anywhere.
+"$work/liveedge" -serve -fault-rate 0 -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -url-file "$work/edge.url" 2>"$work/edge.log" &
 edge_pid=$!
+await_url_file "$work/edge.url" "$edge_pid" "$work/edge.log"
 
 echo "slo-check: replaying at ${RATE} req/s for ${DURATION} (warmup ${WARMUP}), gating on \"$SLO\""
 "$work/jsonreplay" -i "$work/stream.tsv.gz" -target-file "$work/edge.url" \
@@ -56,6 +62,6 @@ echo "slo-check: replaying at ${RATE} req/s for ${DURATION} (warmup ${WARMUP}), 
     exit "$status"
 }
 
-kill "$edge_pid" 2>/dev/null && wait "$edge_pid" 2>/dev/null || true
+stop_pid "$edge_pid"
 edge_pid=""
 echo "slo-check: PASS (report: $OUT)"
