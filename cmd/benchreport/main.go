@@ -6,8 +6,12 @@
 // packages — synth generation, the experiment scheduler, n-gram
 // prediction, the DSP kernels, the log codecs, and the ingest
 // pipeline — parses the standard benchmark output lines, and emits one
-// JSON document with ns/op, B/op, and allocs/op per benchmark plus the
-// derived sequential-vs-parallel RunAll speedup.
+// JSON document with ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units (records/s, disk-B/rec) per benchmark, plus two
+// derived headlines: the sequential-vs-parallel RunAll speedup and the
+// chunk-container decode comparison (records/sec and bytes-per-record
+// vs the binary baseline, gated by -min-chunk-speedup and
+// -max-chunk-bytes-ratio).
 //
 // Usage:
 //
@@ -50,6 +54,9 @@ type Benchmark struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	BPerOp  float64 `json:"bytes_per_op,omitempty"`
 	Allocs  float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "records/s",
+	// "disk-B/rec" from the decode benchmarks), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the JSON document benchreport emits.
@@ -70,6 +77,13 @@ type Report struct {
 	RunAllSequentialNs float64 `json:"runall_sequential_ns,omitempty"`
 	RunAllParallelNs   float64 `json:"runall_parallel_ns,omitempty"`
 	RunAllSpeedup      float64 `json:"runall_speedup,omitempty"`
+
+	// ChunkDecode compares the chunk-container decode path against the
+	// sequential binary baseline (means over the -count runs) — the
+	// numbers the log-container work is judged by. Records/sec uses the
+	// raw codec (decode cost without decompression); bytes-per-record
+	// uses flate (the on-disk default).
+	ChunkDecode *DecodeSummary `json:"chunk_decode,omitempty"`
 
 	// Baseline and Deltas are set when the run compared against a prior
 	// report (-baseline): one Delta per benchmark present in both.
@@ -97,6 +111,17 @@ type ReplaySummary struct {
 	SLOPass      *bool   `json:"slo_pass,omitempty"`
 }
 
+// DecodeSummary is the derived cross-format decode comparison.
+type DecodeSummary struct {
+	BinarySeqRecordsPerSec  float64 `json:"binary_seq_records_per_sec"`
+	ChunkSeqRecordsPerSec   float64 `json:"chunk_seq_records_per_sec"`
+	ChunkParRecordsPerSec   float64 `json:"chunk_par_records_per_sec"`
+	ChunkParSpeedupVsBinary float64 `json:"chunk_par_speedup_vs_binary"`
+	BinaryBytesPerRecord    float64 `json:"binary_bytes_per_record"`
+	ChunkBytesPerRecord     float64 `json:"chunk_bytes_per_record"`
+	ChunkBytesRatio         float64 `json:"chunk_bytes_ratio"`
+}
+
 func main() {
 	var (
 		count      = flag.Int("count", 3, "benchmark repetitions (go test -count)")
@@ -106,6 +131,9 @@ func main() {
 		baseline   = flag.String("baseline", "", "compare mean ns/op against this prior benchreport JSON and exit non-zero on regressions")
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression against -baseline (0.20 = 20% slower)")
 		replayPath = flag.String("replay", "", "fold the headline numbers from this jsonreplay report (replay-*.json) into the output; skipped with a notice if missing")
+
+		minSpeedup  = flag.Float64("min-chunk-speedup", 0, "fail unless parallel chunk decode records/sec is at least this multiple of the sequential binary reader (0 disables; gate skipped when the decode benchmarks were filtered out)")
+		maxSizeRate = flag.Float64("max-chunk-bytes-ratio", 0, "fail unless compressed chunk bytes-per-record is at most this fraction of the binary format's (0 disables; gate skipped when the decode benchmarks were filtered out)")
 	)
 	flag.Parse()
 	if *count < 1 {
@@ -150,6 +178,8 @@ func main() {
 	if seq > 0 && par > 0 {
 		rep.RunAllSpeedup = seq / par
 	}
+
+	rep.ChunkDecode = chunkDecodeSummary(rep.Benchmarks)
 
 	if *replayPath != "" {
 		sum, err := foldReplay(*replayPath)
@@ -209,6 +239,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: ok: %d benchmarks within %.0f%% of %s\n",
 			len(rep.Deltas), *maxRegress*100, *baseline)
 	}
+
+	// The chunk-container gates: absolute floors on the decode summary
+	// rather than deltas, so a fresh machine with no baseline still
+	// enforces the container's reason to exist.
+	if cd := rep.ChunkDecode; cd != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: chunk decode: par %.2fx binary (%.2fM vs %.2fM rec/s), %.1f B/rec = %.3fx binary\n",
+			cd.ChunkParSpeedupVsBinary, cd.ChunkParRecordsPerSec/1e6,
+			cd.BinarySeqRecordsPerSec/1e6, cd.ChunkBytesPerRecord, cd.ChunkBytesRatio)
+		if *minSpeedup > 0 && cd.ChunkParSpeedupVsBinary < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: parallel chunk decode %.2fx binary, want >= %.2fx\n",
+				cd.ChunkParSpeedupVsBinary, *minSpeedup)
+			os.Exit(1)
+		}
+		if *maxSizeRate > 0 && cd.ChunkBytesRatio > *maxSizeRate {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: chunk bytes-per-record %.3fx binary, want <= %.3fx\n",
+				cd.ChunkBytesRatio, *maxSizeRate)
+			os.Exit(1)
+		}
+	} else if *minSpeedup > 0 || *maxSizeRate > 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: chunk decode benchmarks absent; skipping chunk gates")
+	}
+}
+
+// chunkDecodeSummary derives the cross-format decode comparison from
+// the custom records/s and disk-B/rec metrics the Decode benchmarks
+// report; nil when they weren't in the run (e.g. filtered by -bench).
+func chunkDecodeSummary(bs []Benchmark) *DecodeSummary {
+	cd := &DecodeSummary{
+		BinarySeqRecordsPerSec: meanExtra(bs, "BenchmarkDecodeBinarySeq", "records/s"),
+		ChunkSeqRecordsPerSec:  meanExtra(bs, "BenchmarkDecodeChunkSeq/codec=raw", "records/s"),
+		ChunkParRecordsPerSec:  meanExtra(bs, "BenchmarkDecodeChunkParallel/codec=raw", "records/s"),
+		BinaryBytesPerRecord:   meanExtra(bs, "BenchmarkDecodeBinarySeq", "disk-B/rec"),
+		ChunkBytesPerRecord:    meanExtra(bs, "BenchmarkDecodeChunkSeq/codec=flate", "disk-B/rec"),
+	}
+	if cd.BinarySeqRecordsPerSec == 0 || cd.ChunkParRecordsPerSec == 0 {
+		return nil
+	}
+	cd.ChunkParSpeedupVsBinary = cd.ChunkParRecordsPerSec / cd.BinarySeqRecordsPerSec
+	if cd.BinaryBytesPerRecord > 0 {
+		cd.ChunkBytesRatio = cd.ChunkBytesPerRecord / cd.BinaryBytesPerRecord
+	}
+	return cd
 }
 
 // parseBench extracts Benchmark entries from `go test -bench` output.
@@ -232,13 +304,21 @@ func parseBench(pkg, out string) []Benchmark {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				b.NsPerOp = v
 			case "B/op":
 				b.BPerOp = v
 			case "allocs/op":
 				b.Allocs = v
+			case "MB/s":
+				// Redundant with ns/op given SetBytes; skip the noise.
+			default:
+				// Custom b.ReportMetric units (records/s, disk-B/rec, ...).
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[unit] = v
 			}
 		}
 		if b.NsPerOp > 0 {
@@ -301,6 +381,24 @@ func meanNs(bs []Benchmark, name string) float64 {
 		if b.Name == name {
 			sum += b.NsPerOp
 			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// meanExtra averages the custom metric unit over every entry named name.
+func meanExtra(bs []Benchmark, name, unit string) float64 {
+	var sum float64
+	var n int
+	for _, b := range bs {
+		if b.Name == name {
+			if v, ok := b.Extra[unit]; ok {
+				sum += v
+				n++
+			}
 		}
 	}
 	if n == 0 {

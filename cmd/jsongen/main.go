@@ -7,14 +7,18 @@
 //	jsongen -preset long -seed 7 -o logs.jsonl
 //	jsongen -duration 2h -target 150000 -domains 40 -o pattern.tsv
 //	jsongen -preset short -scale 0.01 -shards 8 -o stream.tsv.gz
+//	jsongen -preset short -o logs.cdnc -codec gzip -chunk-records 8192
 //
-// The output format is inferred from the file extension (.tsv or .jsonl,
-// with optional .gz); "-" writes TSV to stdout.
+// The output format is inferred from the file extension (.tsv, .jsonl,
+// .cdnb, or the .cdnc chunk container, with optional .gz on the text
+// and binary formats); "-" writes TSV to stdout. The -codec and
+// -chunk-records flags shape the chunk container only.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -34,6 +38,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "generate with this many parallel shards (0/1 = sequential; deterministic per seed+shards)")
 		utcOff   = flag.Duration("utc-offset", 0, "vantage time-zone offset shifting the diurnal cycle (e.g. -8h, 9h)")
 		quiet    = flag.Bool("q", false, "suppress the summary line")
+
+		codec     = flag.String("codec", "flate", "chunk container codec for .cdnc output: raw, flate, or gzip")
+		chunkRecs = flag.Int("chunk-records", 0, "records per chunk for .cdnc output (0 = default 4096)")
 
 		atkBust     = flag.Float64("attack-bust", 0, "cache-busting storm share of -target overlaid on the benign stream")
 		atkFlash    = flag.Float64("attack-flash", 0, "flash-crowd share of -target overlaid on the benign stream")
@@ -78,7 +85,11 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	w, closeFn, err := openOutput(*out)
+	chunkCodec, err := logfmt.ParseCodec(*codec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w, closeFn, err := openOutput(*out, logfmt.ChunkConfig{Codec: chunkCodec, ChunkRecords: *chunkRecs})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -100,12 +111,24 @@ func main() {
 	}
 }
 
-func openOutput(path string) (logfmt.RecordWriter, func() error, error) {
+func openOutput(path string, chunkCfg logfmt.ChunkConfig) (logfmt.RecordWriter, func() error, error) {
 	if path == "-" {
 		w := logfmt.NewWriter(os.Stdout, logfmt.FormatTSV)
 		return w, w.Close, nil
 	}
-	w, closer, err := logfmt.CreateFile(path)
+	var w logfmt.RecordWriter
+	var closer io.Closer
+	var err error
+	if logfmt.IsChunkPath(path) {
+		// The chunk flags only apply here; CreateFile would use defaults.
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		w, closer = logfmt.NewChunkWriter(f, chunkCfg), f
+	} else {
+		w, closer, err = logfmt.CreateFile(path)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

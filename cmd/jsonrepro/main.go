@@ -11,6 +11,7 @@
 //	jsonrepro                         # laptop-scale defaults
 //	jsonrepro -scale 0.01 -x 100      # bigger datasets, paper's x
 //	jsonrepro -only fig5,table3
+//	jsonrepro -records logs.cdnc      # analyze a captured log instead of synth
 //	jsonrepro -j 1                    # force the sequential scheduler
 //	jsonrepro -shards 8               # shard dataset generation 8 ways
 //	jsonrepro -trace                  # per-stage span table after the run
@@ -35,6 +36,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/ingest"
+	"repro/internal/logfmt"
 	"repro/internal/obs"
 )
 
@@ -50,6 +53,7 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 0, "seed for fault injection and backoff jitter (0 derives it from -seed)")
 		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "RunAll step parallelism: 1 runs the exhibits sequentially; N > 1 runs independent steps on N workers (output stays byte-identical)")
 		shards      = flag.Int("shards", 1, "synth generation shards: 1 reproduces the historical streams; N > 1 generates on N goroutines (deterministic per seed+shards, different stream)")
+		records     = flag.String("records", "", "load the §4 short-term dataset from this log file (.tsv/.jsonl/.cdnb[.gz]/.cdnc, container detected by magic) instead of synthesizing it")
 		only        = flag.String("only", "", "comma-separated subset: fig1,table2,fig3,fig4,fig5,fig6,table3,prefetch,deprioritize,anomaly,regional,resilience,adversarial,fleetchaos (fleetchaos is live-HTTP and excluded from full runs)")
 		csvDir      = flag.String("csv", "", "also export each exhibit's data series as CSV into this directory (full runs only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /readyz, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
@@ -89,6 +93,7 @@ func main() {
 		"permutations": *x, "sample_bin": bin.String(),
 		"fault_rate": *faultRate, "fault_seed": *faultSeed,
 		"jobs": *jobs, "shards": *shards, "only": *only,
+		"records": *records,
 	}
 
 	// finish seals and writes the manifest; it runs on every exit path
@@ -141,6 +146,17 @@ func main() {
 	r := experiments.NewRunner(cfg)
 	r.Instrument(reg, tr)
 	r.NotifyReady(health)
+
+	if *records != "" {
+		recs, stats, err := loadRecords(ctx, *records, *jobs, reg)
+		if err != nil {
+			fail(fmt.Errorf("loading -records %s: %w", *records, err))
+		}
+		r.UseShortTermRecords(recs)
+		logger.Info("short-term dataset loaded from file", "path", *records,
+			"records", stats.Records, "quarantined", stats.Quarantined,
+			"bytes_skipped", stats.BytesSkipped)
+	}
 
 	var stopProfiles func() error
 	if *profile {
@@ -246,6 +262,25 @@ func main() {
 	finish(outcome, report)
 	logger.Info("run "+outcome, "wall", time.Since(start).Round(time.Millisecond).String())
 	fmt.Fprintf(os.Stderr, "\n%s in %s\n", outcome, time.Since(start).Round(time.Millisecond))
+}
+
+// loadRecords tolerantly decodes a log file into memory for the
+// experiment runner. The container format is detected by magic bytes,
+// so a chunk-container file decodes on the parallel per-chunk pipeline
+// regardless of its extension; records are copied out of the reused
+// decode batches because the runner retains them for the whole run.
+func loadRecords(ctx context.Context, path string, jobs int, reg *obs.Registry) ([]logfmt.Record, ingest.Stats, error) {
+	src := &ingest.FileSource{Path: path, Ctx: ctx,
+		Config: ingest.PipelineConfig{
+			Workers: jobs,
+			Options: ingest.Options{Metrics: ingest.NewInstrumentation(reg)},
+		}}
+	var recs []logfmt.Record
+	err := src.Each(func(r *logfmt.Record) error {
+		recs = append(recs, *r)
+		return nil
+	})
+	return recs, src.LastStats, err
 }
 
 // newLogger builds the CLI's structured logger (debug level with -v).

@@ -36,7 +36,8 @@ func (m MemorySource) Each(fn func(*logfmt.Record) error) error {
 }
 
 // FileSource streams records from a log file (TSV or JSON Lines,
-// optionally gzipped; the format is inferred from the extension).
+// optionally gzipped, the format inferred from the extension; the
+// binary stream and chunk container are detected by magic bytes).
 type FileSource string
 
 // Each implements Source.

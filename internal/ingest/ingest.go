@@ -20,9 +20,17 @@ import (
 type Stats struct {
 	// Records is the number of records decoded successfully.
 	Records int64
-	// Quarantined is the number of bad spans sent to the dead letter.
+	// Quarantined is the number of records lost to quarantined spans.
+	// For the text and binary formats one span is one record; for the
+	// chunk container a quarantined chunk loses its whole claimed
+	// record count, so the error budget stays record-denominated
+	// across formats.
 	Quarantined int64
-	// Resyncs is the number of binary-stream resynchronization scans.
+	// FramesDropped is the number of bad spans (lines, binary frames,
+	// or chunks) sent to the dead letter.
+	FramesDropped int64
+	// Resyncs is the number of stream resynchronization scans (binary
+	// frame or chunk granularity).
 	Resyncs int64
 	// BytesSkipped is the number of bytes discarded while resyncing.
 	BytesSkipped int64
@@ -38,6 +46,38 @@ func (s Stats) ErrorRate() float64 {
 	return float64(s.Quarantined) / float64(total)
 }
 
+// SkipMetrics is the structured resync/skip accounting shared by every
+// format that can lose stream position: the binary frame resync and the
+// chunk-container resync both report through one metric family,
+// labeled by format, instead of ad-hoc per-path counts.
+type SkipMetrics struct {
+	// Resyncs counts resynchronization scans
+	// (ingest_resyncs_total{format=...}).
+	Resyncs *obs.Counter
+	// SkippedBytes counts bytes discarded while resyncing
+	// (ingest_skipped_bytes_total{format=...}).
+	SkippedBytes *obs.Counter
+	// DroppedFrames counts bad spans — binary frames or chunks —
+	// quarantined (ingest_dropped_frames_total{format=...}).
+	DroppedFrames *obs.Counter
+	// DroppedRecords counts records lost inside those spans
+	// (ingest_dropped_records_total{format=...}).
+	DroppedRecords *obs.Counter
+}
+
+// Observe records one quarantine/resync event: a dropped span holding
+// records lost records, with bytes skipped finding the next boundary.
+// Nil receivers are no-ops so unmetered paths need no guards.
+func (s *SkipMetrics) Observe(bytesSkipped, records int64) {
+	if s == nil {
+		return
+	}
+	s.Resyncs.Inc()
+	s.SkippedBytes.Add(bytesSkipped)
+	s.DroppedFrames.Inc()
+	s.DroppedRecords.Add(records)
+}
+
 // Instrumentation holds the pre-resolved ingest metrics, mirroring
 // edge.Instrumentation and resilience.Instrumentation: the per-record
 // hot path pays no registry lookups.
@@ -45,21 +85,45 @@ type Instrumentation struct {
 	// Records counts successfully decoded records
 	// (ingest_records_total).
 	Records *obs.Counter
-	// Quarantined counts bad spans written to the dead letter
+	// Quarantined counts records lost to quarantined spans
 	// (ingest_quarantined_total).
 	Quarantined *obs.Counter
-	// Resyncs counts binary resynchronization scans
-	// (ingest_resyncs_total).
-	Resyncs *obs.Counter
-	// SkippedBytes counts bytes discarded while resyncing
-	// (ingest_skipped_bytes_total).
-	SkippedBytes *obs.Counter
 	// QueueDepth is the pipeline's bounded-queue occupancy in batches
 	// (ingest_queue_depth).
 	QueueDepth *obs.Gauge
 	// DecodeSeconds is the per-record decode latency distribution
 	// (ingest_decode_seconds).
 	DecodeSeconds *obs.Histogram
+
+	// BinarySkips and ChunkSkips are the per-format views of the shared
+	// skip metric family.
+	BinarySkips *SkipMetrics
+	ChunkSkips  *SkipMetrics
+}
+
+// Skips returns the skip metrics for a DecodeError format name
+// ("binary" or "chunk"; other formats have no resync path and get nil).
+func (i *Instrumentation) Skips(format string) *SkipMetrics {
+	if i == nil {
+		return nil
+	}
+	switch format {
+	case "binary":
+		return i.BinarySkips
+	case "chunk":
+		return i.ChunkSkips
+	}
+	return nil
+}
+
+// newSkipMetrics resolves the skip family for one format label.
+func newSkipMetrics(reg *obs.Registry, format string) *SkipMetrics {
+	return &SkipMetrics{
+		Resyncs:        reg.Counter("ingest_resyncs_total", "format", format),
+		SkippedBytes:   reg.Counter("ingest_skipped_bytes_total", "format", format),
+		DroppedFrames:  reg.Counter("ingest_dropped_frames_total", "format", format),
+		DroppedRecords: reg.Counter("ingest_dropped_records_total", "format", format),
+	}
 }
 
 // NewInstrumentation registers the ingest metrics in reg and returns
@@ -71,17 +135,19 @@ func NewInstrumentation(reg *obs.Registry) *Instrumentation {
 		return nil
 	}
 	reg.Help("ingest_records_total", "Records decoded successfully by the ingest path.")
-	reg.Help("ingest_quarantined_total", "Corrupt spans quarantined to the dead letter.")
-	reg.Help("ingest_resyncs_total", "Binary stream resynchronization scans.")
-	reg.Help("ingest_skipped_bytes_total", "Bytes discarded while resynchronizing.")
+	reg.Help("ingest_quarantined_total", "Records lost to spans quarantined to the dead letter.")
+	reg.Help("ingest_resyncs_total", "Stream resynchronization scans, by format.")
+	reg.Help("ingest_skipped_bytes_total", "Bytes discarded while resynchronizing, by format.")
+	reg.Help("ingest_dropped_frames_total", "Bad frames/chunks quarantined, by format.")
+	reg.Help("ingest_dropped_records_total", "Records lost inside quarantined frames/chunks, by format.")
 	reg.Help("ingest_queue_depth", "Bounded ingest queue occupancy, in batches.")
 	reg.Help("ingest_decode_seconds", "Per-record decode latency.")
 	return &Instrumentation{
 		Records:       reg.Counter("ingest_records_total"),
 		Quarantined:   reg.Counter("ingest_quarantined_total"),
-		Resyncs:       reg.Counter("ingest_resyncs_total"),
-		SkippedBytes:  reg.Counter("ingest_skipped_bytes_total"),
 		QueueDepth:    reg.Gauge("ingest_queue_depth"),
 		DecodeSeconds: reg.Histogram("ingest_decode_seconds", obs.ExpBuckets(1e-7, 4, 12)),
+		BinarySkips:   newSkipMetrics(reg, "binary"),
+		ChunkSkips:    newSkipMetrics(reg, "chunk"),
 	}
 }

@@ -288,12 +288,15 @@ func newLineReader(r io.Reader) (*bufio.Reader, error) {
 }
 
 // FileSource streams a log file tolerantly through the pipeline,
-// implementing core.Source: text formats decode on the worker pool,
-// the binary format through a sequential TolerantReader (its timestamps
-// are delta-encoded). After Each returns, LastStats holds the run's
-// accounting.
+// implementing core.Source. The container formats are detected by
+// magic bytes regardless of extension: the chunk container decodes on
+// the parallel per-chunk pipeline (RunChunks), text formats decode
+// line-parallel on the worker pool (Run), and the single-stream binary
+// format decodes through a sequential TolerantReader (its timestamps
+// are delta-encoded across the whole stream). After Each returns,
+// LastStats holds the run's accounting.
 type FileSource struct {
-	// Path is the log file (.tsv/.jsonl/.cdnb[.gz]).
+	// Path is the log file (.tsv/.jsonl/.cdnb[.gz] or .cdnc).
 	Path string
 	// Ctx cancels the run between records; nil means Background.
 	Ctx context.Context
@@ -309,13 +312,21 @@ func (f *FileSource) Each(fn func(*logfmt.Record) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if logfmt.IsBinaryPath(f.Path) {
-		tr, closer, err := OpenFile(f.Path, f.Config.Options)
-		if err != nil {
-			return err
-		}
-		defer closer.Close()
-		err = tr.ForEach(func(r *logfmt.Record) error {
+	fh, err := os.Open(f.Path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	br := bufio.NewReaderSize(fh, 1<<16)
+	magic, _ := br.Peek(5)
+	switch {
+	case logfmt.IsChunkMagic(magic):
+		stats, err := RunChunks(ctx, br, f.Config, fn)
+		f.LastStats = stats
+		return err
+	case logfmt.IsBinaryMagic(magic) || logfmt.IsBinaryPath(f.Path):
+		tr := NewTolerantReader(logfmt.NewBinaryReader(br), f.Config.Options)
+		err := tr.ForEach(func(r *logfmt.Record) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -324,12 +335,7 @@ func (f *FileSource) Each(fn func(*logfmt.Record) error) error {
 		f.LastStats = tr.Stats()
 		return err
 	}
-	fh, err := os.Open(f.Path)
-	if err != nil {
-		return err
-	}
-	defer fh.Close()
-	stats, err := Run(ctx, fh, logfmt.FormatForPath(f.Path), f.Config, fn)
+	stats, err := Run(ctx, br, logfmt.FormatForPath(f.Path), f.Config, fn)
 	f.LastStats = stats
 	return err
 }

@@ -68,6 +68,21 @@ func NewTolerantReader(rd logfmt.RecordReader, opts Options) *TolerantReader {
 // Stats returns the accounting so far.
 func (t *TolerantReader) Stats() Stats { return t.stats }
 
+// resyncer is implemented by readers that can lose stream position on a
+// decode error and scan forward to the next plausible boundary
+// (logfmt.BinaryReader at frame granularity, logfmt.ChunkReader at
+// chunk granularity). Text readers consume bad lines themselves.
+type resyncer interface {
+	Resync(maxScan int64) (int64, error)
+}
+
+// chunkDropper is implemented by readers whose bad spans hold more than
+// one record (the chunk container): LastBadRecords is how many records
+// the most recent quarantined span claimed.
+type chunkDropper interface {
+	LastBadRecords() int64
+}
+
 // Read decodes the next good record into r, quarantining any bad spans
 // it steps over. It returns io.EOF at end of stream, ErrBudgetExceeded
 // (wrapped with position) when the stream is too corrupt, and
@@ -89,9 +104,18 @@ func (t *TolerantReader) Read(r *logfmt.Record) error {
 		if de == nil {
 			return err // real I/O failure; nothing to quarantine
 		}
-		t.stats.Quarantined++
+		// One bad span loses one record, except for the chunk container
+		// where the whole chunk's claimed record count quarantines.
+		lost := int64(1)
+		if cd, ok := t.rd.(chunkDropper); ok {
+			if n := cd.LastBadRecords(); n > 0 {
+				lost = n
+			}
+		}
+		t.stats.Quarantined += lost
+		t.stats.FramesDropped++
 		if m := t.opts.Metrics; m != nil {
-			m.Quarantined.Inc()
+			m.Quarantined.Add(lost)
 		}
 		if werr := t.opts.DeadLetter.Write(quarantineFor(de)); werr != nil {
 			return fmt.Errorf("ingest: writing dead letter: %w", werr)
@@ -99,17 +123,15 @@ func (t *TolerantReader) Read(r *logfmt.Record) error {
 		if berr := t.checkBudget(de); berr != nil {
 			return berr
 		}
-		// After a binary decode error the stream position is undefined;
-		// scan forward to the next plausible record boundary. Text
-		// readers consume the bad line themselves.
-		if br, ok := t.rd.(*logfmt.BinaryReader); ok {
-			skipped, rerr := br.Resync(t.opts.MaxResyncScan)
+		// After a container decode error the stream position may be
+		// undefined; scan forward to the next plausible boundary (a
+		// record frame for the binary stream, a validated chunk header
+		// for the container — a no-op when framing survived).
+		if rs, ok := t.rd.(resyncer); ok {
+			skipped, rerr := rs.Resync(t.opts.MaxResyncScan)
 			t.stats.Resyncs++
 			t.stats.BytesSkipped += skipped
-			if m := t.opts.Metrics; m != nil {
-				m.Resyncs.Inc()
-				m.SkippedBytes.Add(skipped)
-			}
+			t.opts.Metrics.Skips(de.Format).Observe(skipped, lost)
 			if rerr == io.EOF {
 				return io.EOF
 			}

@@ -53,6 +53,34 @@ func BenchmarkWriterThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkChunkWrite measures the encode side of the chunk container
+// per codec: dictionary building, body encoding, and compression.
+func BenchmarkChunkWrite(b *testing.B) {
+	recs := chunkCorpus(10_000)
+	for _, codec := range []Codec{CodecRaw, CodecFlate, CodecGzip} {
+		b.Run("codec="+codec.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				w := NewChunkWriter(&buf, ChunkConfig{Codec: codec})
+				for j := range recs {
+					if err := w.Write(&recs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(buf.Len()))
+			b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "records/s")
+			b.ReportMetric(float64(buf.Len())/float64(len(recs)), "disk-B/rec")
+		})
+	}
+}
+
 func BenchmarkCanonicalURL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		CanonicalURL("HTTPS://Example.COM:443/v1/articles?b=2&a=1")

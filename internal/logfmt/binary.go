@@ -69,18 +69,7 @@ func (w *BinaryWriter) Write(r *Record) error {
 		}
 		w.started = true
 	}
-	buf := w.buf[:0]
-	nano := r.Time.UnixNano()
-	buf = binary.AppendVarint(buf, nano-w.prevNano)
-	w.prevNano = nano
-	buf = binary.AppendUvarint(buf, r.ClientID)
-	buf = appendDictString(buf, methodTable, r.Method)
-	buf = appendString(buf, r.URL)
-	buf = appendString(buf, r.UserAgent)
-	buf = appendDictString(buf, mimeTable, r.MIMEType)
-	buf = binary.AppendUvarint(buf, uint64(r.Status))
-	buf = binary.AppendUvarint(buf, uint64(r.Bytes))
-	buf = append(buf, byte(r.Cache))
+	buf := appendRecordBody(w.buf[:0], r, &w.prevNano)
 	w.buf = buf
 
 	var hdr [binary.MaxVarintLen32]byte
@@ -107,6 +96,24 @@ func (w *BinaryWriter) Close() error {
 		return w.gz.Close()
 	}
 	return nil
+}
+
+// appendRecordBody appends the frame payload encoding of r — the shared
+// per-record body of the binary stream and the chunk container — and
+// advances *prevNano to r's timestamp for the delta chain.
+func appendRecordBody(buf []byte, r *Record, prevNano *int64) []byte {
+	nano := r.Time.UnixNano()
+	buf = binary.AppendVarint(buf, nano-*prevNano)
+	*prevNano = nano
+	buf = binary.AppendUvarint(buf, r.ClientID)
+	buf = appendDictString(buf, methodTable, r.Method)
+	buf = appendString(buf, r.URL)
+	buf = appendString(buf, r.UserAgent)
+	buf = appendDictString(buf, mimeTable, r.MIMEType)
+	buf = binary.AppendUvarint(buf, uint64(r.Status))
+	buf = binary.AppendUvarint(buf, uint64(r.Bytes))
+	buf = append(buf, byte(r.Cache))
+	return buf
 }
 
 func appendDictString(buf []byte, table []string, s string) []byte {
@@ -387,6 +394,20 @@ func (d *decoder) uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
+	// One- and two-byte fast paths: nearly every field (dictionary
+	// indices, client IDs, status codes, response sizes) fits in 14
+	// bits, and this is the chunk container's per-record hot loop.
+	if len(d.buf) >= 2 {
+		b0 := d.buf[0]
+		if b0 < 0x80 {
+			d.buf = d.buf[1:]
+			return uint64(b0)
+		}
+		if b1 := d.buf[1]; b1 < 0x80 {
+			d.buf = d.buf[2:]
+			return uint64(b0&0x7f) | uint64(b1)<<7
+		}
+	}
 	v, n := binary.Uvarint(d.buf)
 	if n <= 0 {
 		d.err = errShortRecord
@@ -430,6 +451,38 @@ func (d *decoder) dictString(table []string) string {
 	}
 	if i == 0 {
 		return d.str()
+	}
+	if int(i) >= len(table) {
+		d.err = fmt.Errorf("dictionary index %d out of range", i)
+		return ""
+	}
+	return table[i]
+}
+
+// strIntern is str without the throwaway allocation: the raw bytes go
+// straight through the interner, so repeated values cost one map
+// lookup and zero allocations.
+func (d *decoder) strIntern(in *Interner) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.err = errShortRecord
+		return ""
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return in.InternBytes(b)
+}
+
+func (d *decoder) dictStringIntern(table []string, in *Interner) string {
+	i := d.byte()
+	if d.err != nil {
+		return ""
+	}
+	if i == 0 {
+		return d.strIntern(in)
 	}
 	if int(i) >= len(table) {
 		d.err = fmt.Errorf("dictionary index %d out of range", i)

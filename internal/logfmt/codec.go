@@ -387,19 +387,26 @@ type RecordWriter interface {
 	Close() error
 }
 
-// OpenFile opens path and returns a reader for it. The encoding is
-// inferred from the extension: .jsonl → JSON Lines, .cdnb → binary,
+// OpenFile opens path and returns a reader for it. The container
+// formats are detected by magic bytes — "CDNC1" → chunk container,
+// "CDNJ1" → binary stream — regardless of extension; everything else
+// falls back to the extension: .jsonl → JSON Lines, .cdnb → binary,
 // anything else → TSV; a .gz suffix is stripped first (decompression is
-// automatic for the text formats).
+// automatic for the text formats and the plain binary stream).
 func OpenFile(path string) (RecordReader, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if IsBinaryPath(path) {
-		return NewBinaryReader(f), f, nil
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic, _ := br.Peek(5)
+	switch {
+	case IsChunkMagic(magic):
+		return NewChunkReader(br), f, nil
+	case IsBinaryMagic(magic) || IsBinaryPath(path):
+		return NewBinaryReader(br), f, nil
 	}
-	rd, err := NewReader(f, FormatForPath(path))
+	rd, err := NewReader(br, FormatForPath(path))
 	if err != nil {
 		f.Close()
 		return nil, nil, err
@@ -408,13 +415,18 @@ func OpenFile(path string) (RecordReader, io.Closer, error) {
 }
 
 // CreateFile creates path and returns a writer in the inferred format
-// (see OpenFile), gzip-compressing text formats with a .gz suffix.
-// Closing the returned writer flushes; the caller must also close the
-// returned io.Closer (the file).
+// (see OpenFile), gzip-compressing text formats with a .gz suffix. A
+// .cdnc extension selects the chunk container with its default
+// configuration (flate codec); use NewChunkWriter directly for other
+// codecs or chunk sizes. Closing the returned writer flushes; the
+// caller must also close the returned io.Closer (the file).
 func CreateFile(path string) (RecordWriter, io.Closer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if IsChunkPath(path) {
+		return NewChunkWriter(f, ChunkConfig{}), f, nil
 	}
 	if IsBinaryPath(path) {
 		if strings.HasSuffix(path, ".gz") {

@@ -54,6 +54,41 @@ func FuzzBinaryReader(f *testing.F) {
 	})
 }
 
+// FuzzChunkReader checks the chunk-container decoder never panics on
+// corrupt containers, and that the tolerant read-resync loop always
+// terminates.
+func FuzzChunkReader(f *testing.F) {
+	r := sampleRecord()
+	for _, codec := range []Codec{CodecRaw, CodecFlate, CodecGzip} {
+		var buf bytes.Buffer
+		w := NewChunkWriter(&buf, ChunkConfig{Codec: codec, ChunkRecords: 2})
+		for i := 0; i < 5; i++ {
+			w.Write(&r)
+		}
+		w.Close()
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("CDNC1"))
+	f.Add([]byte("CDNC1\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewChunkReader(bytes.NewReader(data))
+		var rec Record
+		for i := 0; i < 1000; i++ {
+			err := rd.Read(&rec)
+			if err == nil {
+				continue
+			}
+			if AsDecodeError(err) == nil {
+				return // EOF or I/O error ends the stream
+			}
+			if _, rerr := rd.Resync(1 << 16); rerr != nil {
+				return
+			}
+		}
+	})
+}
+
 // FuzzUnmarshalJSONLine checks the JSONL decoder never panics.
 func FuzzUnmarshalJSONLine(f *testing.F) {
 	r := sampleRecord()

@@ -52,6 +52,29 @@ func (in *Interner) Intern(s string) string {
 	return c
 }
 
+// InternBytes returns the canonical string equal to b, remembering it
+// if the table has room. On a hit no allocation happens (the map lookup
+// keys on the byte slice directly), which is what makes the chunk
+// decode path low-alloc: every repeated URL and user agent decodes to
+// the shared copy without ever materializing a throwaway string.
+func (in *Interner) InternBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if in == nil {
+		return string(b)
+	}
+	if c, ok := in.m[string(b)]; ok { // no alloc: compiler-optimized lookup
+		return c
+	}
+	if len(in.m) >= in.max {
+		return string(b)
+	}
+	c := string(b)
+	in.m[c] = c
+	return c
+}
+
 // Len returns the number of distinct strings held.
 func (in *Interner) Len() int {
 	if in == nil {
