@@ -10,18 +10,23 @@ MAXREGRESS ?= 0.20
 # shrink bytes-per-record to at most this fraction of binary.
 MINCHUNKSPEEDUP ?= 2.0
 MAXCHUNKRATIO ?= 0.5
+# Live-characterization tap budget: the async sketch tap may slow the
+# edge serve path by at most this fraction (gated on multi-core runners
+# only — at GOMAXPROCS=1 the tap's consumer cannot overlap the path).
+MAXCHAROVERHEAD ?= 0.05
 # Replay report folded into bench baselines when present (see slo-check).
-REPLAYREPORT ?= replay-slo.json
+REPLAYREPORT ?= out/replay-slo.json
 # Pinned staticcheck, run via `go run` so no binary install is needed.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: ci vet lint build test race fuzz bench bench-check slo-check attack-check chaos-check
+.PHONY: ci vet lint build test race fuzz bench bench-check slo-check attack-check chaos-check char-check
 
 # ci is the tier-1 gate: everything below, in order. The end-to-end
 # gates run last — slo-check (latency), attack-check (adversarial
-# robustness), then chaos-check (fleet availability under node churn) —
+# robustness), chaos-check (fleet availability under node churn), then
+# char-check (the live characterization plane against real traffic) —
 # so they only fail CI after the code itself is sound.
-ci: vet lint build test race fuzz slo-check attack-check chaos-check
+ci: vet lint build test race fuzz slo-check attack-check chaos-check char-check
 
 vet:
 	$(GO) vet ./...
@@ -49,7 +54,7 @@ test:
 # experiment scheduler, and the fleet front tier (health prober, ring
 # swaps, failover/hedging) with its chaos injector.
 race:
-	$(GO) test -race ./internal/obs ./internal/edge ./internal/defend ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay ./internal/fleet/...
+	$(GO) test -race ./internal/obs ./internal/edge ./internal/defend ./internal/resilience ./internal/ingest ./internal/synth ./internal/experiments ./internal/replay ./internal/fleet/... ./internal/livechar
 
 # bench regenerates the persisted benchmark baseline (BENCH_1.json by
 # default; override with BENCHOUT=...). It runs every benchmark in the
@@ -72,6 +77,7 @@ bench-check:
 	$(GO) run ./cmd/benchreport -count $(BENCHCOUNT) -out $(BENCHOUT2) \
 		-baseline $(BENCHBASE) -max-regress $(MAXREGRESS) \
 		-min-chunk-speedup $(MINCHUNKSPEEDUP) -max-chunk-bytes-ratio $(MAXCHUNKRATIO) \
+		-max-livechar-overhead $(MAXCHAROVERHEAD) \
 		-replay $(REPLAYREPORT)
 
 # slo-check is the end-to-end latency gate: spin up the liveedge server
@@ -102,6 +108,17 @@ attack-check:
 # RECOVER (see scripts/chaos-check.sh).
 chaos-check:
 	GO=$(GO) ./scripts/chaos-check.sh
+
+# char-check is the live-characterization gate: start a liveedge with
+# -livechar, drive it with replayed synthetic traffic plus a fixed-URL
+# beacon that bursts on a known period, then assert over /charz and
+# /metrics that the plane saw the traffic — the beacon among the top-K
+# heavy hitters, its period detected, quantiles and prediction gauges
+# populated, livechar_* metric cardinality bounded, and periodic
+# snapshot files written. Tune with RATE/DURATION/BEACON_PERIOD (see
+# scripts/char-check.sh).
+char-check:
+	GO=$(GO) ./scripts/char-check.sh
 
 # fuzz gives each decode-path fuzzer a short budget (go only runs one
 # fuzz target per invocation). Raise FUZZTIME for a longer soak.

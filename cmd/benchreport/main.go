@@ -17,7 +17,7 @@
 //
 //	go run ./cmd/benchreport -count 3 -out BENCH_1.json
 //	go run ./cmd/benchreport -benchtime 0.5s -bench 'RunAll' -out -
-//	go run ./cmd/benchreport -count 3 -replay replay-slo.json -out BENCH_1.json
+//	go run ./cmd/benchreport -count 3 -replay out/replay-slo.json -out BENCH_1.json
 package main
 
 import (
@@ -43,6 +43,7 @@ var packages = []string{
 	"./internal/dsp",
 	"./internal/logfmt",
 	"./internal/ingest",
+	"./internal/livechar",
 }
 
 // Benchmark is one parsed `go test -bench` result line. Repeated
@@ -85,6 +86,14 @@ type Report struct {
 	// uses flate (the on-disk default).
 	ChunkDecode *DecodeSummary `json:"chunk_decode,omitempty"`
 
+	// LiveChar compares the edge serve path with the live
+	// characterization tap attached against the plain path — the cost
+	// of -livechar, gated by -max-livechar-overhead. Like the RunAll
+	// speedup, only meaningful on a multi-core runner: at GOMAXPROCS=1
+	// the tap's consumer cannot overlap the request path and the
+	// measurement is the tap's entire CPU cost, not the serve latency.
+	LiveChar *LiveCharSummary `json:"livechar,omitempty"`
+
 	// Baseline and Deltas are set when the run compared against a prior
 	// report (-baseline): one Delta per benchmark present in both.
 	Baseline string  `json:"baseline,omitempty"`
@@ -111,6 +120,19 @@ type ReplaySummary struct {
 	SLOPass      *bool   `json:"slo_pass,omitempty"`
 }
 
+// LiveCharSummary is the derived edge-path cost of the live
+// characterization tap.
+type LiveCharSummary struct {
+	EdgeBaselineNs float64 `json:"edge_baseline_ns"`
+	EdgeLiveCharNs float64 `json:"edge_livechar_ns"`
+	// Overhead is the fractional serve-path slowdown with the tap on
+	// (0.03 = 3% slower).
+	Overhead float64 `json:"overhead"`
+	// DropRate is the tap's shed fraction during the benchmark — a low
+	// Overhead bought by dropping events would show up here.
+	DropRate float64 `json:"drop_rate"`
+}
+
 // DecodeSummary is the derived cross-format decode comparison.
 type DecodeSummary struct {
 	BinarySeqRecordsPerSec  float64 `json:"binary_seq_records_per_sec"`
@@ -134,6 +156,8 @@ func main() {
 
 		minSpeedup  = flag.Float64("min-chunk-speedup", 0, "fail unless parallel chunk decode records/sec is at least this multiple of the sequential binary reader (0 disables; gate skipped when the decode benchmarks were filtered out)")
 		maxSizeRate = flag.Float64("max-chunk-bytes-ratio", 0, "fail unless compressed chunk bytes-per-record is at most this fraction of the binary format's (0 disables; gate skipped when the decode benchmarks were filtered out)")
+
+		maxCharOverhead = flag.Float64("max-livechar-overhead", 0, "fail if the live-characterization tap slows the edge serve path by more than this fraction (0 disables; gate skipped at GOMAXPROCS=1, where the tap's consumer cannot overlap the request path, and when the edge benchmarks were filtered out)")
 	)
 	flag.Parse()
 	if *count < 1 {
@@ -180,6 +204,7 @@ func main() {
 	}
 
 	rep.ChunkDecode = chunkDecodeSummary(rep.Benchmarks)
+	rep.LiveChar = liveCharSummary(rep.Benchmarks)
 
 	if *replayPath != "" {
 		sum, err := foldReplay(*replayPath)
@@ -260,6 +285,43 @@ func main() {
 	} else if *minSpeedup > 0 || *maxSizeRate > 0 {
 		fmt.Fprintln(os.Stderr, "benchreport: chunk decode benchmarks absent; skipping chunk gates")
 	}
+
+	// The livechar gate: the tap must not slow the edge serve path by
+	// more than -max-livechar-overhead. The comparison needs a spare
+	// core for the tap's consumer, so at GOMAXPROCS=1 the number is
+	// reported but not gated (same caveat as the RunAll speedup).
+	if lc := rep.LiveChar; lc != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: livechar tap: edge %.0f -> %.0f ns/op (%+.1f%%), drop rate %.3f\n",
+			lc.EdgeBaselineNs, lc.EdgeLiveCharNs, lc.Overhead*100, lc.DropRate)
+		if *maxCharOverhead > 0 {
+			switch {
+			case rep.GOMAXPROCS == 1:
+				fmt.Fprintln(os.Stderr, "benchreport: single-core runner; skipping livechar overhead gate (re-run on a multi-core machine to gate)")
+			case lc.Overhead > *maxCharOverhead:
+				fmt.Fprintf(os.Stderr, "benchreport: FAIL: livechar tap adds %.1f%% to the edge path, want <= %.1f%%\n",
+					lc.Overhead*100, *maxCharOverhead*100)
+				os.Exit(1)
+			}
+		}
+	} else if *maxCharOverhead > 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: edge livechar benchmarks absent; skipping livechar gate")
+	}
+}
+
+// liveCharSummary derives the edge-path tap cost from the
+// baseline/with-tap benchmark pair in internal/livechar; nil when they
+// weren't in the run.
+func liveCharSummary(bs []Benchmark) *LiveCharSummary {
+	lc := &LiveCharSummary{
+		EdgeBaselineNs: meanNs(bs, "BenchmarkEdgeServeBaseline"),
+		EdgeLiveCharNs: meanNs(bs, "BenchmarkEdgeWithLiveChar"),
+		DropRate:       meanExtra(bs, "BenchmarkEdgeWithLiveChar", "drop-rate"),
+	}
+	if lc.EdgeBaselineNs == 0 || lc.EdgeLiveCharNs == 0 {
+		return nil
+	}
+	lc.Overhead = lc.EdgeLiveCharNs/lc.EdgeBaselineNs - 1
+	return lc
 }
 
 // chunkDecodeSummary derives the cross-format decode comparison from

@@ -64,7 +64,7 @@ func main() {
 		trace       = flag.Bool("trace", false, "print a per-stage span table after the run")
 		traceOut    = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file")
 		spanLog     = flag.String("span-log", "", "write the run's span tree as JSONL to this file")
-		manifestDir = flag.String("manifest-dir", ".", "directory for the run-<id>.json manifest (empty disables)")
+		manifestDir = flag.String("manifest-dir", "out", "directory for the run-<id>.json manifest (empty disables)")
 		verbose     = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()

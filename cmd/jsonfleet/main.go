@@ -40,6 +40,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/fleet"
 	"repro/internal/fleet/chaos"
+	"repro/internal/livechar"
 	"repro/internal/obs"
 )
 
@@ -65,6 +66,8 @@ func main() {
 		chaosDur   = flag.Duration("chaos-dur", 10*time.Second, "span of a generated timeline")
 		reportPath = flag.String("report", "", "write the chaos report JSON here on shutdown")
 		recoverTol = flag.Float64("recover-within", 0, "gate: settled hit ratio must be within this of the pre-fault ratio (0 disables; violation exits 4)")
+		charOn     = flag.Bool("livechar", false, "enable each node's live characterization plane and serve the fleet-merged view on this admin's /charz")
+		charWindow = flag.Duration("char-window", time.Minute, "livechar tumbling window passed through to the nodes")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), uint64(*chaosSeed), nil).Component("jsonfleet")
@@ -88,7 +91,8 @@ func main() {
 		defer os.RemoveAll(dir)
 	}
 
-	sup := &supervisor{bin: *nodeBin, dir: dir, faultRate: *faultRate}
+	sup := &supervisor{bin: *nodeBin, dir: dir, faultRate: *faultRate,
+		livechar: *charOn, charWindow: *charWindow}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -142,6 +146,26 @@ func main() {
 			"live": f.Live(), "draining": f.Draining(), "members": f.Members(),
 		})
 	})
+	if *charOn {
+		// Fleet-merged characterization: scatter to every live node's
+		// /charz, gather the per-node snapshots, and merge the sketches
+		// (HDR bucket sums, heavy-hitter union with absent-node error
+		// bounds, time-aligned bin sums with periodicity re-detected on
+		// the fleet-wide signal).
+		adminMux.HandleFunc("/charz", func(w http.ResponseWriter, r *http.Request) {
+			snaps, errs := sup.gatherCharz(r.Context())
+			merged, err := livechar.MergeSnapshots("fleet", 1, snaps...)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("merging node snapshots: %v (node errors: %v)", err, errs),
+					http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(merged)
+		})
+	}
 	aln, err := net.Listen("tcp", *adminAddr)
 	if err != nil {
 		logger.Error("admin listen failed", "addr", *adminAddr, "err", err)
@@ -258,10 +282,12 @@ type child struct {
 // kill/restart at the process level, pause/partition/dead through each
 // node's chaos control endpoint.
 type supervisor struct {
-	bin       string
-	dir       string
-	faultRate float64
-	fleet     *fleet.Fleet
+	bin        string
+	dir        string
+	faultRate  float64
+	livechar   bool
+	charWindow time.Duration
+	fleet      *fleet.Fleet
 
 	mu       sync.Mutex
 	children map[string]*child
@@ -272,14 +298,27 @@ type supervisor struct {
 func (s *supervisor) spawn(ctx context.Context, name, addr string) (*child, error) {
 	uf := filepath.Join(s.dir, name+".url")
 	os.Remove(uf)
-	cmd := exec.Command(s.bin,
+	args := []string{
 		"-serve",
 		"-listen", addr,
 		"-admin", "127.0.0.1:0",
 		"-chaos-listen", "127.0.0.1:0",
 		"-url-file", uf,
 		"-fault-rate", fmt.Sprintf("%g", s.faultRate),
-	)
+	}
+	if s.livechar {
+		args = append(args,
+			"-livechar",
+			"-char-window", s.charWindow.String(),
+			// Periodic per-node snapshot files land in the supervisor's
+			// scratch dir, not the repo: the fleet-level artifact is the
+			// merged /charz view.
+			"-char-snapshot", "0",
+			"-out-dir", s.dir,
+			"-node", name,
+		)
+	}
+	cmd := exec.Command(s.bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, err
@@ -364,6 +403,63 @@ func (s *supervisor) Inject(name string, mode chaos.Mode, delay time.Duration) e
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return chaos.InjectHTTP(ctx, http.DefaultClient, c.chaosURL, mode, delay)
+}
+
+// gatherCharz scatters to every running node's /charz and returns the
+// per-node snapshots plus the errors from nodes that failed to answer
+// (killed or partitioned nodes are expected casualties — the merged
+// view covers whoever is alive).
+func (s *supervisor) gatherCharz(ctx context.Context) ([]livechar.Snapshot, []error) {
+	s.mu.Lock()
+	urls := make(map[string]string, len(s.children))
+	for name, c := range s.children {
+		if c.cmd != nil {
+			urls[name] = c.adminURL + "/charz"
+		}
+	}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		out   []livechar.Snapshot
+		errs  []error
+		outMu sync.Mutex
+	)
+	for name, url := range urls {
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+			if err != nil {
+				outMu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %w", name, err))
+				outMu.Unlock()
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				outMu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %w", name, err))
+				outMu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			var snap livechar.Snapshot
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				outMu.Lock()
+				errs = append(errs, fmt.Errorf("%s: decoding /charz: %w", name, err))
+				outMu.Unlock()
+				return
+			}
+			outMu.Lock()
+			out = append(out, snap)
+			outMu.Unlock()
+		}(name, url)
+	}
+	wg.Wait()
+	return out, errs
 }
 
 // killAll tears the fleet down (shutdown path).

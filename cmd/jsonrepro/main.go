@@ -60,7 +60,7 @@ func main() {
 		trace       = flag.Bool("trace", false, "print a per-stage span table (wall time, records, records/sec) after the run")
 		traceOut    = flag.String("trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file (load in about:tracing or ui.perfetto.dev)")
 		spanLog     = flag.String("span-log", "", "write the run's span tree as JSONL (one span per line, parent ids intact) to this file")
-		manifestDir = flag.String("manifest-dir", ".", "directory for the run-<id>.json manifest (empty disables)")
+		manifestDir = flag.String("manifest-dir", "out", "directory for the run-<id>.json manifest (empty disables)")
 		profile     = flag.Bool("profile", false, "capture CPU and heap pprof profiles bracketing the run (written next to the manifest)")
 		verbose     = flag.Bool("v", false, "log at debug level")
 	)

@@ -53,6 +53,7 @@ import (
 	"repro/internal/defend"
 	"repro/internal/edge"
 	"repro/internal/fleet/chaos"
+	"repro/internal/livechar"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
@@ -69,6 +70,7 @@ type edgeStack struct {
 	origin   *resilience.ResilientOrigin
 	breaker  *resilience.Breaker
 	defender *defend.Defender
+	char     *livechar.LiveChar
 	reg      *obs.Registry
 	health   *obs.Health
 	mu       sync.Mutex
@@ -86,16 +88,64 @@ func main() {
 		defendOn   = flag.Bool("defend", false, "enable the detect-and-defend admission loop (rate limits, cache-key collapse, negative caching, abuser shedding)")
 		chaosAddr  = flag.String("chaos-listen", "", "serve the chaos fault-injection control endpoint on this address (-serve mode; published as the third URL-file line)")
 		drainGrace = flag.Duration("drain-grace", 2*time.Second, "in-flight request window after SIGTERM before the listener closes")
+		charOn     = flag.Bool("livechar", false, "enable the live traffic-characterization plane: /charz on the admin mux, livechar_* metrics, periodic char-<id>.json snapshots")
+		charWindow = flag.Duration("char-window", time.Minute, "livechar tumbling window (event time)")
+		charBin    = flag.Duration("char-bin", time.Second, "livechar rate-sampling bin for periodicity detection")
+		charSnap   = flag.Duration("char-snapshot", 30*time.Second, "interval between char-<id>.json snapshots in -serve mode (0 disables)")
+		outDir     = flag.String("out-dir", "out", "directory for run manifests and char snapshots")
+		nodeName   = flag.String("node", "", "node label on livechar snapshots, for fleet merges (default: the run id)")
 	)
 	flag.Parse()
-	logger = obs.NewLogger(os.Stderr, obs.NewRunID(), *faultSeed, nil).Component("liveedge")
+	runID := obs.NewRunID()
+	logger = obs.NewLogger(os.Stderr, runID, *faultSeed, nil).Component("liveedge")
 
 	st := buildEdgeStack(*faultRate, *faultSeed, *serve, *defendOn)
+	if *charOn {
+		node := *nodeName
+		if node == "" {
+			node = runID
+		}
+		st.char = livechar.New(livechar.Config{
+			Window: *charWindow,
+			Bin:    *charBin,
+			Seed:   *faultSeed,
+			Node:   node,
+		})
+		st.char.Instrument(st.reg)
+		// Tap the edge's request log: the previous hook keeps running,
+		// livechar sees every record first. After Start the tap is a
+		// non-blocking channel send; overflow is dropped and counted.
+		prevLog := st.edge.Log
+		st.edge.Log = func(r *cdnjson.Record) {
+			st.char.Observe(r)
+			if prevLog != nil {
+				prevLog(r)
+			}
+		}
+	}
 	if *serve {
-		runServe(st, *listen, *adminAddr, *urlFile, *chaosAddr, *drainGrace)
+		runServe(st, serveConfig{
+			listen:     *listen,
+			adminAddr:  *adminAddr,
+			urlFile:    *urlFile,
+			chaosAddr:  *chaosAddr,
+			drainGrace: *drainGrace,
+			runID:      runID,
+			outDir:     *outDir,
+			charSnap:   *charSnap,
+		})
 		return
 	}
 	runSelfDriven(st)
+}
+
+// serveConfig bundles runServe's knobs.
+type serveConfig struct {
+	listen, adminAddr, urlFile, chaosAddr string
+	drainGrace                            time.Duration
+	runID                                 string
+	outDir                                string
+	charSnap                              time.Duration
 }
 
 // buildEdgeStack wires the cache, the faulty origin, and the full
@@ -153,10 +203,10 @@ func buildEdgeStack(faultRate float64, faultSeed uint64, wildcard, defended bool
 // runServe is the harness-facing mode: bind real listeners, publish
 // URLs once ready, serve until a signal arrives, then drain and report
 // what was served.
-func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drainGrace time.Duration) {
-	ln, err := net.Listen("tcp", listen)
+func runServe(st *edgeStack, cfg serveConfig) {
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
-		logger.Error("listen failed", "addr", listen, "err", err)
+		logger.Error("listen failed", "addr", cfg.listen, "err", err)
 		os.Exit(1)
 	}
 	edgeURL := "http://" + ln.Addr().String()
@@ -182,12 +232,12 @@ func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drain
 	// listener so a partitioned node can still be healed.
 	var chaosSrv *http.Server
 	var chaosURL string
-	if chaosAddr != "" {
+	if cfg.chaosAddr != "" {
 		injector := &chaos.Injector{}
 		handler = injector.Wrap(mux)
-		cln, err := net.Listen("tcp", chaosAddr)
+		cln, err := net.Listen("tcp", cfg.chaosAddr)
 		if err != nil {
-			logger.Error("chaos listen failed", "addr", chaosAddr, "err", err)
+			logger.Error("chaos listen failed", "addr", cfg.chaosAddr, "err", err)
 			os.Exit(1)
 		}
 		chaosURL = "http://" + cln.Addr().String()
@@ -197,29 +247,82 @@ func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drain
 	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 
-	adminSrv, adminURL, err := obs.Serve(adminAddr, st.reg, st.health)
+	// Compose the admin mux before the listener opens so a probe can
+	// never observe a half-wired surface: /charz joins the built-ins
+	// when the characterization plane is on.
+	adminMux := obs.AdminMux(st.reg, st.health)
+	if st.char != nil {
+		adminMux.Handle("/charz", st.char.Handler())
+	}
+	adminSrv, adminURL, err := obs.ServeHandler(cfg.adminAddr, adminMux)
 	if err != nil {
-		logger.Error("admin listen failed", "addr", adminAddr, "err", err)
+		logger.Error("admin listen failed", "addr", cfg.adminAddr, "err", err)
 		os.Exit(1)
 	}
 	// Both listeners are up and the origin path is wired: flip ready,
 	// THEN publish the URL file — the handshake's ordering contract.
 	st.health.SetReady(true)
-	if urlFile != "" {
+	if cfg.urlFile != "" {
 		urls := []string{edgeURL, adminURL}
 		if chaosURL != "" {
 			urls = append(urls, chaosURL)
 		}
-		if err := edge.WriteURLFile(urlFile, urls...); err != nil {
-			logger.Error("publishing URL file", "path", urlFile, "err", err)
+		if err := edge.WriteURLFile(cfg.urlFile, urls...); err != nil {
+			logger.Error("publishing URL file", "path", cfg.urlFile, "err", err)
 			os.Exit(1)
 		}
 	}
 	logger.Info("edge serving", "url", edgeURL, "admin", adminURL,
-		"chaos", chaosURL, "url_file", urlFile)
+		"chaos", chaosURL, "url_file", cfg.urlFile)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The characterization plane goes async once traffic can arrive; a
+	// snapshot loop writes periodic char-<id>.json artifacts whose
+	// ledger steps fold into the run manifest at shutdown.
+	var manifest *obs.Manifest
+	var charWG sync.WaitGroup
+	var charMu sync.Mutex
+	charSeq := 0
+	if st.char != nil {
+		st.char.Start()
+		manifest = obs.NewManifest("liveedge", cfg.runID)
+		manifest.Config["livechar"] = true
+		manifest.Config["char_window"] = st.char.Config().Window.String()
+		manifest.Config["char_bin"] = st.char.Config().Bin.String()
+		manifest.Config["char_snapshot"] = cfg.charSnap.String()
+		manifest.Config["listen"] = cfg.listen
+		if cfg.charSnap > 0 {
+			charWG.Add(1)
+			go func() {
+				defer charWG.Done()
+				tick := time.NewTicker(cfg.charSnap)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						charMu.Lock()
+						charSeq++
+						seq := charSeq
+						charMu.Unlock()
+						path, step, err := st.char.WriteSnapshot(cfg.outDir, cfg.runID, seq)
+						if err != nil {
+							logger.Warn("char snapshot failed", "err", err)
+							continue
+						}
+						charMu.Lock()
+						manifest.Steps = append(manifest.Steps, step)
+						charMu.Unlock()
+						logger.Info("char snapshot written", "path", path)
+					}
+				}
+			}()
+		}
+	}
+
 	<-ctx.Done()
 	stop()
 
@@ -227,14 +330,35 @@ func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drain
 	// supervisors stop routing here, then in-flight requests get the
 	// grace window before the listener closes.
 	st.health.SetReady(false)
-	logger.Info("edge draining", "grace", drainGrace)
-	shutCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	logger.Info("edge draining", "grace", cfg.drainGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
 	defer cancel()
 	srv.Shutdown(shutCtx)
 	if chaosSrv != nil {
 		chaosSrv.Close()
 	}
 	adminSrv.Close()
+
+	if st.char != nil {
+		charWG.Wait()
+		st.char.Close()
+		// Final snapshot after the drain so the artifact reflects the
+		// whole run, then the manifest closes the books.
+		charSeq++
+		if path, step, err := st.char.WriteSnapshot(cfg.outDir, cfg.runID, charSeq); err != nil {
+			logger.Warn("final char snapshot failed", "err", err)
+		} else {
+			manifest.Steps = append(manifest.Steps, step)
+			logger.Info("char snapshot written", "path", path)
+		}
+		manifest.Finish("completed")
+		manifest.AddMetrics(st.reg)
+		if path, err := manifest.WriteFile(cfg.outDir); err != nil {
+			logger.Warn("writing run manifest", "err", err)
+		} else {
+			logger.Info("run manifest written", "path", path)
+		}
+	}
 
 	st.mu.Lock()
 	served := len(st.logs)
@@ -248,7 +372,11 @@ func runServe(st *edgeStack, listen, adminAddr, urlFile, chaosAddr string, drain
 func runSelfDriven(st *edgeStack) {
 	srv := httptest.NewServer(st.edge)
 	defer srv.Close()
-	admin := httptest.NewServer(obs.AdminMux(st.reg, st.health))
+	adminMux := obs.AdminMux(st.reg, st.health)
+	if st.char != nil {
+		adminMux.Handle("/charz", st.char.Handler())
+	}
+	admin := httptest.NewServer(adminMux)
 	defer admin.Close()
 	// Both listeners are up and the origin path is wired: ready.
 	st.health.SetReady(true)
@@ -317,6 +445,24 @@ func runSelfDriven(st *edgeStack) {
 		st.edge.Obs.StaleServes.Value(), st.breaker.Opens())
 	fmt.Printf("request trace: %d spans retained (last %d requests), %d dropped by the retention window\n",
 		len(st.edge.Trace.Spans()), st.edge.Trace.Limit, st.edge.Trace.Dropped())
+
+	// With -livechar the same log was also characterized live; show the
+	// streaming view next to the batch one.
+	if st.char != nil {
+		snap := st.char.Snapshot()
+		fmt.Printf("\nlive characterization (%s/charz): %d events, %d drops\n",
+			admin.URL, snap.Events, snap.Drops)
+		if w := snap.Current; w != nil {
+			for i, hh := range w.TopObjects {
+				if i >= 3 {
+					break
+				}
+				fmt.Printf("  top object %d: %s (%d reqs, err <= %d)\n", i+1, hh.Key, hh.Count, hh.Err)
+			}
+		}
+		fmt.Printf("  predictability: top-%d hit rate %.2f over %d predictions, unigram entropy %.2f bits\n",
+			snap.Predict.K, snap.Predict.HitRate, snap.Predict.Observations, snap.Predict.EntropyBits)
+	}
 
 	// Scrape our own admin endpoint to show the zero-to-metrics path.
 	fmt.Printf("\nsample of %s/metrics:\n", admin.URL)

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestLiveCharConvergence is the acceptance gate for the live
+// characterization plane: streaming estimates over a synthetic stream
+// must converge to batch ground truth — quantiles within
+// LiveCharQuantileTol, top-10 overlap at least LiveCharTopOverlapMin,
+// the injected synthetic period detected, and the split-and-merge path
+// reproducing the single-plane sketch state.
+func TestLiveCharConvergence(t *testing.T) {
+	r := NewRunner(DefaultConfig())
+	res, err := r.LiveChar(io.Discard)
+	if err != nil {
+		t.Fatalf("LiveChar: %v", err)
+	}
+	if res.Events < 4000 {
+		t.Fatalf("suspiciously small stream: %d events", res.Events)
+	}
+	for _, qp := range append(append([]QuantilePair{}, res.SizeQuantiles...), res.InterQuantiles...) {
+		if qp.RelErr > LiveCharQuantileTol {
+			t.Errorf("q%.2f: stream %d vs batch %d — rel err %.3f exceeds %.2f",
+				qp.Q, qp.Stream, qp.Batch, qp.RelErr, LiveCharQuantileTol)
+		}
+	}
+	if res.TopOverlap < LiveCharTopOverlapMin {
+		t.Errorf("top-10 overlap %.2f below %.2f", res.TopOverlap, LiveCharTopOverlapMin)
+	}
+	if !res.PeriodDetected {
+		t.Errorf("injected %gs period not detected (got %gs)",
+			res.InjectedPeriodSec, res.DetectedPeriodSec)
+	}
+	if res.PredictHitRate <= 0.1 || res.PredictObservations == 0 {
+		t.Errorf("online prediction learned nothing: hit rate %.3f over %d",
+			res.PredictHitRate, res.PredictObservations)
+	}
+	if !res.MergedConsistent {
+		t.Error("two-node merge does not reproduce the single-plane sketches")
+	}
+
+	// Determinism: the experiment is seeded end to end.
+	res2, err := r.LiveChar(io.Discard)
+	if err != nil {
+		t.Fatalf("LiveChar rerun: %v", err)
+	}
+	if res2.Events != res.Events || res2.TopOverlap != res.TopOverlap ||
+		res2.DetectedPeriodSec != res.DetectedPeriodSec ||
+		res2.PredictHitRate != res.PredictHitRate {
+		t.Errorf("rerun diverged: %+v vs %+v", res2, res)
+	}
+}

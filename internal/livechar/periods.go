@@ -1,0 +1,132 @@
+package livechar
+
+import (
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/stats"
+)
+
+// This file maintains the per-bin request-rate signal behind the live
+// periodicity view: a ring of fixed-width time bins (the paper samples
+// request counts at 1 s) fed by event timestamps, plus the wrapper that
+// runs the §5.1 autocorrelation + periodogram detector over the ring's
+// contents. The ring is indexed by absolute bin number (event time /
+// bin width) so replayed historical streams and live traffic both bin
+// deterministically.
+
+// binRing accumulates event counts into fixed-width bins, keeping the
+// most recent `cap(counts)` bins. Not safe for concurrent use.
+type binRing struct {
+	binNS   int64
+	counts  []int64
+	first   int64 // absolute index of the oldest retained bin (-1: empty)
+	last    int64 // absolute index of the newest bin
+	origin  int64 // absolute index of the first bin after a (re)start
+	version int64 // bumped whenever a bin changes, for detection caching
+}
+
+func newBinRing(bin time.Duration, capacity int) *binRing {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &binRing{binNS: bin.Nanoseconds(), counts: make([]int64, capacity), first: -1, last: -1, origin: -1}
+}
+
+func (r *binRing) add(tNS int64, n int64) {
+	idx := tNS / r.binNS
+	capacity := int64(len(r.counts))
+	if r.first < 0 {
+		r.first, r.last, r.origin = idx, idx, idx
+		r.counts[idx%capacity] = 0
+	}
+	switch {
+	case idx < r.first:
+		return // older than the retained window: drop silently
+	case idx > r.last:
+		if idx-r.last >= capacity {
+			// Gap swallows the whole ring: restart from idx.
+			clear(r.counts)
+			r.first, r.last, r.origin = idx, idx, idx
+		} else {
+			for b := r.last + 1; b <= idx; b++ {
+				r.counts[b%capacity] = 0
+			}
+			r.last = idx
+			if r.last-r.first >= capacity {
+				r.first = r.last - capacity + 1
+			}
+		}
+	}
+	r.counts[idx%capacity] += n
+	r.version++
+}
+
+// series returns the retained bins oldest-first plus the start time of
+// the first returned bin. The newest bin is still filling and is
+// included; detection callers may prefer to drop it.
+func (r *binRing) series() (time.Time, []int64) {
+	if r.first < 0 {
+		return time.Time{}, nil
+	}
+	capacity := int64(len(r.counts))
+	out := make([]int64, 0, r.last-r.first+1)
+	for b := r.first; b <= r.last; b++ {
+		out = append(out, r.counts[b%capacity])
+	}
+	return time.Unix(0, r.first*r.binNS).UTC(), out
+}
+
+// leadingPartial reports whether the oldest retained bin is the first
+// bin after a (re)start — such a bin began mid-way through its
+// interval, and its artificially low count is a large aperiodic spike
+// that can mask real periodicity from the detector.
+func (r *binRing) leadingPartial() bool {
+	return r.first >= 0 && r.first == r.origin
+}
+
+// Period is one detected periodicity of the request-rate signal.
+type Period struct {
+	// Seconds is the period length in seconds (lag × bin width).
+	Seconds float64 `json:"seconds"`
+	// LagBins is the detected period in bins.
+	LagBins int `json:"lag_bins"`
+	// ACF is the autocorrelation value at the detected lag.
+	ACF float64 `json:"acf"`
+	// Power is the periodogram power of the supporting frequency.
+	Power float64 `json:"power"`
+}
+
+// minDetectBins is the shortest signal worth running the detector on:
+// below this the permutation thresholds are meaningless.
+const minDetectBins = 16
+
+// DetectPeriods runs the paper's §5.1 permutation-thresholded
+// autocorrelation + periodogram detector over a bin series and returns
+// up to maxPeriods significant periods, strongest first (empty, never
+// nil, when none are significant or the signal is too short). The last
+// bin is assumed complete; callers with a still-filling tail bin should
+// trim it first. seed fixes the permutation RNG for reproducibility.
+func DetectPeriods(counts []int64, bin time.Duration, seed uint64, maxPeriods int) []Period {
+	out := []Period{}
+	if len(counts) < minDetectBins {
+		return out
+	}
+	signal := make([]float64, len(counts))
+	for i, c := range counts {
+		signal[i] = float64(c)
+	}
+	dets, err := dsp.DetectAll(signal, dsp.DefaultDetectorConfig(), stats.NewRNG(seed), maxPeriods)
+	if err != nil {
+		return out
+	}
+	for _, d := range dets {
+		out = append(out, Period{
+			Seconds: float64(d.Period) * bin.Seconds(),
+			LagBins: d.Period,
+			ACF:     d.ACFValue,
+			Power:   d.Power,
+		})
+	}
+	return out
+}

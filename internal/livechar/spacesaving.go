@@ -1,0 +1,217 @@
+package livechar
+
+import "sort"
+
+// This file implements the Space-Saving heavy-hitter sketch of Metwally,
+// Agrawal and El Abbadi ("Efficient computation of frequent and top-k
+// elements in data streams", ICDT 2005): a fixed budget of m counters
+// tracks the stream's most frequent keys. A key already held gets its
+// counter incremented; a new key evicts the current minimum counter and
+// inherits its count (recording that count as the new entry's maximum
+// possible overestimate). The sketch guarantees, for a stream of N
+// observations:
+//
+//	count - err <= true frequency <= count
+//	err <= N/m
+//
+// so any key whose true frequency exceeds N/m is guaranteed to be
+// present, which is exactly the budget the paper's popularity analysis
+// (top objects and domains by request share) needs from a stream it
+// cannot buffer.
+
+// HeavyHitter is one reported entry: Count overestimates the true
+// frequency by at most Err.
+type HeavyHitter struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+type ssEntry struct {
+	key   string
+	count int64
+	err   int64
+	idx   int // position in the min-heap
+}
+
+// SpaceSaving is a fixed-size heavy-hitter sketch. Not safe for
+// concurrent use; callers serialize (livechar's consumer goroutine owns
+// its sketches).
+type SpaceSaving struct {
+	capacity int
+	entries  map[string]*ssEntry
+	heap     []*ssEntry // min-heap by count
+	n        int64      // total observations folded in
+}
+
+// NewSpaceSaving returns a sketch with the given counter budget
+// (minimum 1).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		entries:  make(map[string]*ssEntry, capacity),
+	}
+}
+
+// Observe folds one occurrence of key into the sketch.
+func (s *SpaceSaving) Observe(key string) { s.ObserveN(key, 1) }
+
+// ObserveN folds n occurrences of key into the sketch (no-op for n<=0).
+func (s *SpaceSaving) ObserveN(key string, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.n += n
+	if e, ok := s.entries[key]; ok {
+		e.count += n
+		s.siftDown(e.idx)
+		return
+	}
+	if len(s.heap) < s.capacity {
+		e := &ssEntry{key: key, count: n, idx: len(s.heap)}
+		s.entries[key] = e
+		s.heap = append(s.heap, e)
+		s.siftUp(e.idx)
+		return
+	}
+	// Evict the minimum counter: the newcomer inherits its count (the
+	// classical Space-Saving step), and that inherited count is the
+	// newcomer's maximum possible overestimate.
+	min := s.heap[0]
+	delete(s.entries, min.key)
+	min.key = key
+	min.err = min.count
+	min.count += n
+	s.entries[key] = min
+	s.siftDown(0)
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.heap) }
+
+// Observations returns the total stream length folded in.
+func (s *SpaceSaving) Observations() int64 { return s.n }
+
+// MinCount returns the smallest tracked counter — the maximum possible
+// frequency of any key NOT present in the sketch (0 while the counter
+// budget is not exhausted). Fleet merges use it to bound the error of
+// keys missing from one node's sketch.
+func (s *SpaceSaving) MinCount() int64 {
+	if len(s.heap) < s.capacity {
+		return 0
+	}
+	return s.heap[0].count
+}
+
+// Top returns up to k entries sorted by descending count (ties broken
+// by key for determinism).
+func (s *SpaceSaving) Top(k int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.heap))
+	for _, e := range s.heap {
+		out = append(out, HeavyHitter{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Reset clears the sketch for window rotation, keeping the allocation.
+func (s *SpaceSaving) Reset() {
+	clear(s.entries)
+	s.heap = s.heap[:0]
+	s.n = 0
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].count <= s.heap[i].count {
+			break
+		}
+		s.swap(parent, i)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(s.heap) && s.heap[l].count < s.heap[min].count {
+			min = l
+		}
+		if r < len(s.heap) && s.heap[r].count < s.heap[min].count {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(min, i)
+		i = min
+	}
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}
+
+// mergeTops combines per-node top-K reports into one fleet-wide view.
+// Counts for the same key sum exactly. For the error bound, a key
+// absent from one node's report may still have occurred up to that
+// node's minCount times there, so the merged Err adds the reporting
+// node's per-entry Err when present and the node's minCount when not —
+// the standard Space-Saving merge bound. Entries come back sorted by
+// descending count, truncated to k.
+func mergeTops(tops [][]HeavyHitter, minCounts []int64, k int) []HeavyHitter {
+	merged := make(map[string]*HeavyHitter)
+	for _, top := range tops {
+		for _, hh := range top {
+			if m, ok := merged[hh.Key]; ok {
+				m.Count += hh.Count
+				m.Err += hh.Err
+			} else {
+				c := hh
+				merged[hh.Key] = &c
+			}
+		}
+	}
+	for key, m := range merged {
+		for i, top := range tops {
+			found := false
+			for _, hh := range top {
+				if hh.Key == key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				m.Err += minCounts[i]
+			}
+		}
+	}
+	out := make([]HeavyHitter, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package livechar
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSpaceSavingExactUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(16)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			s.Observe(fmt.Sprintf("k%d", i))
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if s.MinCount() != 0 {
+		t.Errorf("MinCount = %d, want 0 while under budget", s.MinCount())
+	}
+	top := s.Top(3)
+	want := []HeavyHitter{{Key: "k9", Count: 10}, {Key: "k8", Count: 9}, {Key: "k7", Count: 8}}
+	for i, w := range want {
+		if top[i] != w {
+			t.Errorf("top[%d] = %+v, want %+v", i, top[i], w)
+		}
+	}
+}
+
+// TestSpaceSavingErrorBounds drives a skewed stream through a small
+// sketch and checks the Metwally guarantees against exact counts:
+// count-err <= true <= count for tracked keys, err <= N/m, and every
+// key with true frequency > N/m is present.
+func TestSpaceSavingErrorBounds(t *testing.T) {
+	const capacity = 64
+	s := NewSpaceSaving(capacity)
+	exact := map[string]int64{}
+	rng := stats.NewRNG(7)
+	zipf := stats.NewZipf(1000, 1.2)
+	var n int64
+	for i := 0; i < 50000; i++ {
+		key := fmt.Sprintf("obj-%d", zipf.Sample(rng))
+		exact[key]++
+		s.Observe(key)
+		n++
+	}
+	if s.Observations() != n {
+		t.Fatalf("Observations = %d, want %d", s.Observations(), n)
+	}
+	bound := n / capacity
+	tracked := map[string]HeavyHitter{}
+	for _, hh := range s.Top(0) {
+		tracked[hh.Key] = hh
+		if hh.Err > bound {
+			t.Errorf("key %s err %d exceeds N/m = %d", hh.Key, hh.Err, bound)
+		}
+		truth := exact[hh.Key]
+		if truth > hh.Count || truth < hh.Count-hh.Err {
+			t.Errorf("key %s: true %d outside [count-err, count] = [%d, %d]",
+				hh.Key, truth, hh.Count-hh.Err, hh.Count)
+		}
+	}
+	for key, truth := range exact {
+		if truth > bound {
+			if _, ok := tracked[key]; !ok {
+				t.Errorf("key %s with true count %d > N/m = %d missing from sketch", key, truth, bound)
+			}
+		}
+	}
+	if mc := s.MinCount(); mc <= 0 {
+		t.Errorf("MinCount = %d, want > 0 once budget is full", mc)
+	}
+}
+
+func TestSpaceSavingReset(t *testing.T) {
+	s := NewSpaceSaving(4)
+	for i := 0; i < 100; i++ {
+		s.Observe(fmt.Sprintf("k%d", i%8))
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Observations() != 0 || s.MinCount() != 0 {
+		t.Fatalf("after Reset: len=%d n=%d min=%d", s.Len(), s.Observations(), s.MinCount())
+	}
+	s.Observe("fresh")
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != "fresh" || top[0].Count != 1 || top[0].Err != 0 {
+		t.Errorf("post-reset top = %+v", top)
+	}
+}
+
+func TestMergeTopsAbsentNodeBound(t *testing.T) {
+	// Node A saw x 100 times (err 5) and y 40 times; node B (budget
+	// full, min counter 7) reports only z. Merged x must sum its own
+	// err with B's min counter, since x may have occurred up to 7
+	// times at B unrecorded.
+	a := []HeavyHitter{{Key: "x", Count: 100, Err: 5}, {Key: "y", Count: 40}}
+	b := []HeavyHitter{{Key: "z", Count: 60, Err: 2}}
+	merged := mergeTops([][]HeavyHitter{a, b}, []int64{0, 7}, 10)
+	byKey := map[string]HeavyHitter{}
+	for _, hh := range merged {
+		byKey[hh.Key] = hh
+	}
+	if got := byKey["x"]; got.Count != 100 || got.Err != 5+7 {
+		t.Errorf("x = %+v, want count 100 err 12", got)
+	}
+	if got := byKey["y"]; got.Count != 40 || got.Err != 7 {
+		t.Errorf("y = %+v, want count 40 err 7", got)
+	}
+	// z is absent from A; A's sketch was under budget (min 0), so its
+	// absence there is exact.
+	if got := byKey["z"]; got.Count != 60 || got.Err != 2 {
+		t.Errorf("z = %+v, want count 60 err 2", got)
+	}
+	if merged[0].Key != "x" {
+		t.Errorf("merged not sorted by count: %+v", merged)
+	}
+}
+
+func TestMergeTopsSharedKeySums(t *testing.T) {
+	a := []HeavyHitter{{Key: "x", Count: 10, Err: 1}}
+	b := []HeavyHitter{{Key: "x", Count: 20, Err: 2}}
+	merged := mergeTops([][]HeavyHitter{a, b}, []int64{3, 4}, 1)
+	if len(merged) != 1 || merged[0].Count != 30 || merged[0].Err != 3 {
+		t.Errorf("merged = %+v, want x count 30 err 3", merged)
+	}
+}

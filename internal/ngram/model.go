@@ -8,6 +8,7 @@ package ngram
 
 import (
 	"encoding/binary"
+	"math"
 	"sort"
 )
 
@@ -102,6 +103,53 @@ func (m *Model) Train(seq []string) {
 			m.bump(encode(ids[i-n:i]), next)
 		}
 	}
+}
+
+// ObserveTransition folds one observed transition (history → next) into
+// the model incrementally — the online-training primitive behind live
+// traffic characterization, where requests arrive one at a time and the
+// model must stay current while traffic flows. history is the client's
+// previous requests, most recent last (it is truncated to the model
+// order); transition counts are updated for every context length from 1
+// up to len(history), plus the unigram popularity prior.
+//
+// Feeding each position of a flow through ObserveTransition with the
+// full preceding history produces exactly the model Train builds from
+// the whole sequence. Like Train, it is not safe for concurrent use.
+func (m *Model) ObserveTransition(history []string, next string) {
+	if len(history) > m.order {
+		history = history[len(history)-m.order:]
+	}
+	ids := make([]int32, len(history))
+	for i, h := range history {
+		ids[i] = m.intern(h)
+	}
+	nid := m.intern(next)
+	m.bump("", nid)
+	for n := 1; n <= len(ids); n++ {
+		m.bump(encode(ids[len(ids)-n:]), nid)
+	}
+}
+
+// UnigramEntropyBits returns the Shannon entropy (bits) of the model's
+// unigram next-request distribution — the live predictability gauge's
+// complement: low entropy means few objects dominate the stream and
+// prefetching is cheap; entropy near log2(vocab) means the stream is
+// close to unpredictable white noise. Returns 0 for an untrained model.
+func (m *Model) UnigramEntropyBits() float64 {
+	f := m.contexts[""]
+	if f == nil || f.total == 0 {
+		return 0
+	}
+	total := float64(f.total)
+	var bits float64
+	for _, c := range f.counts {
+		if c > 0 {
+			p := float64(c) / total
+			bits -= p * math.Log2(p)
+		}
+	}
+	return bits
 }
 
 func (m *Model) bump(ctx string, next int32) {

@@ -68,11 +68,19 @@ func AdminMux(reg *Registry, health *Health) *http.ServeMux {
 // server plus its base URL. Callers that care about clean shutdown
 // should Close the returned server; CLIs that exit anyway may ignore it.
 func Serve(addr string, reg *Registry, health *Health) (*http.Server, string, error) {
+	return ServeHandler(addr, AdminMux(reg, health))
+}
+
+// ServeHandler is Serve for callers that compose their own admin mux —
+// typically AdminMux plus extra endpoints (/fleetz, /charz) registered
+// before the listener opens, so a probe can never observe a half-wired
+// mux.
+func ServeHandler(addr string, h http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: AdminMux(reg, health)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return srv, "http://" + ln.Addr().String(), nil
 }

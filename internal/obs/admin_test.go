@@ -74,6 +74,59 @@ func TestAdminMuxRoutes(t *testing.T) {
 	}
 }
 
+// TestAdminMuxRouteComposition is the registration-order contract for
+// the admin surface: commands extend AdminMux with their own endpoints
+// (/fleetz on jsonfleet, /charz on a livechar-enabled edge) after
+// construction, and every built-in route must keep answering — a new
+// registration must never shadow an existing one, and the catch-all
+// index must not swallow extensions. ServeMux panics on exact-pattern
+// duplicates, so the one shadowing hazard left is a subtree pattern
+// ("/charz/") vs the built-ins; this test pins the full composed table.
+func TestAdminMuxRouteComposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("livechar_events_total").Add(3)
+	health := &Health{}
+	health.SetReady(true)
+	mux := AdminMux(reg, health)
+	// Register the extension endpoints exactly as the commands do:
+	// after AdminMux returns, before the listener opens.
+	mux.HandleFunc("/fleetz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"live":3}`))
+	})
+	mux.HandleFunc("/charz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"schema":"repro/livechar/v1"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	routes := []struct {
+		path     string
+		wantCode int
+		wantBody string // substring
+	}{
+		{"/metrics", 200, "livechar_events_total 3"},
+		{"/healthz", 200, "ok"},
+		{"/readyz", 200, "ready"},
+		{"/debug/vars", 200, "cmdline"},
+		{"/debug/pprof/", 200, "goroutine"},
+		{"/fleetz", 200, `"live":3`},
+		{"/charz", 200, "repro/livechar/v1"},
+		{"/", 200, "/metrics"},
+		{"/charzzz", 404, ""}, // extensions must not claim subtrees
+	}
+	for _, rt := range routes {
+		code, body, _ := get(t, srv.URL+rt.path)
+		if code != rt.wantCode {
+			t.Errorf("%s status = %d, want %d", rt.path, code, rt.wantCode)
+		}
+		if rt.wantBody != "" && !strings.Contains(body, rt.wantBody) {
+			t.Errorf("%s body %.120q missing %q", rt.path, body, rt.wantBody)
+		}
+	}
+}
+
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Gauge("up").Set(1)

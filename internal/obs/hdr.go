@@ -254,6 +254,26 @@ func (h *HDRHistogram) QuantileDuration(q float64) time.Duration {
 	return time.Duration(h.Quantile(q))
 }
 
+// Reset zeroes the histogram in place so window-rotation paths (e.g. a
+// live sliding-window sketch) can reuse the allocation instead of
+// replacing the histogram. Reset is safe to call concurrently with
+// Record and Snapshot in the data-race sense — every field is atomic —
+// but it is not a linearizable barrier: an observation racing the reset
+// may land in either the old or the new window, and a snapshot taken
+// mid-reset can mix the two. That is the accepted semantics for
+// sliding-window telemetry, where window edges are approximate by
+// construction; callers needing a clean cut must serialize externally.
+func (h *HDRHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.clamped.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+}
+
 // HDRQuantiles are the quantiles reports and Prometheus exposition
 // publish by default.
 var HDRQuantiles = []float64{0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0}

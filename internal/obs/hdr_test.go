@@ -103,6 +103,106 @@ func TestHDRMerge(t *testing.T) {
 	}
 }
 
+// TestHDRMergeConfigMismatch pins down that every differently-configured
+// merge errors cleanly — and leaves the receiver untouched — instead of
+// silently mis-binning counts into buckets with different boundaries.
+// The live-window rotation path merges per-node snapshots, so a config
+// drift between fleet nodes must surface as an error, not skewed tails.
+func TestHDRMergeConfigMismatch(t *testing.T) {
+	base := HDRConfig{Lowest: 1000, Highest: 1_000_000_000, SigFigs: 2}
+	h := NewHDRHistogram(base)
+	for i := int64(0); i < 100; i++ {
+		h.Record(1000 + i*1000)
+	}
+	before := h.Snapshot()
+	for _, bad := range []HDRConfig{
+		{Lowest: 1, Highest: base.Highest, SigFigs: base.SigFigs},
+		{Lowest: base.Lowest, Highest: base.Highest * 2, SigFigs: base.SigFigs},
+		{Lowest: base.Lowest, Highest: base.Highest, SigFigs: 3},
+	} {
+		other := NewHDRHistogram(bad)
+		other.Record(5000)
+		if err := h.Merge(other); err == nil {
+			t.Errorf("merge with %+v accepted, want config-mismatch error", bad)
+		}
+	}
+	after := h.Snapshot()
+	if after.Count != before.Count || after.Sum != before.Sum {
+		t.Errorf("failed merges mutated receiver: %+v -> %+v", before, after)
+	}
+	// The snapshot rebuild path must reject mismatches the same way.
+	rebuilt, err := FromHDRSnapshot(NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 1 << 20, SigFigs: 1}).Snapshot())
+	if err != nil {
+		t.Fatalf("FromHDRSnapshot: %v", err)
+	}
+	if err := h.Merge(rebuilt); err == nil {
+		t.Error("merge of differently-configured snapshot rebuild accepted")
+	}
+}
+
+// TestHDRResetReuse exercises the window-rotation path: record, reset,
+// record again — the second window must see none of the first.
+func TestHDRResetReuse(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 1_000_000, SigFigs: 2})
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // clamps above Highest too
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Clamped() != 0 {
+		t.Fatalf("post-reset not empty: count=%d sum=%d min=%d max=%d clamped=%d",
+			h.Count(), h.Sum(), h.Min(), h.Max(), h.Clamped())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("post-reset quantile = %d, want 0", q)
+	}
+	h.Record(42)
+	if h.Count() != 1 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("post-reset window polluted: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestHDRResetConcurrentRecord drives Record, Reset, and Snapshot from
+// concurrent goroutines; run under -race (make race covers this
+// package) it proves window rotation never races observation. The
+// invariant checked is internal consistency, not window purity: counts
+// are non-negative and a snapshot's buckets sum to its count.
+func TestHDRResetConcurrentRecord(t *testing.T) {
+	h := NewHDRHistogram(HDRConfig{Lowest: 1, Highest: 1 << 20, SigFigs: 2})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(int64(rng.Intn(1 << 20)))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		s := h.Snapshot()
+		var sum int64
+		for _, b := range s.Buckets {
+			if b[1] < 0 {
+				t.Errorf("negative bucket count %d", b[1])
+			}
+			sum += b[1]
+		}
+		if sum != s.Count {
+			t.Errorf("snapshot buckets sum %d != count %d", sum, s.Count)
+		}
+		h.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestHDRSnapshotRoundTrip(t *testing.T) {
 	h := NewHDRHistogram(LatencyHDRConfig())
 	rng := rand.New(rand.NewSource(7))

@@ -141,8 +141,15 @@ func (m *Manifest) Path(dir string) string {
 }
 
 // WriteFile writes the manifest as indented JSON to Path(dir) and
-// returns the path written.
+// returns the path written. The directory is created if missing, so
+// tools can default their manifests into a git-ignored out/ directory
+// without a setup step.
 func (m *Manifest) WriteFile(dir string) (string, error) {
+	if dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", fmt.Errorf("obs: creating manifest dir: %w", err)
+		}
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("obs: encoding run manifest: %w", err)

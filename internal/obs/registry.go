@@ -144,6 +144,17 @@ func (r *Registry) HDR(name string, cfg HDRConfig, labels ...string) *HDRHistogr
 	return s.hdr
 }
 
+// RegisterHDR registers an existing HDRHistogram under name — for
+// components that own the histogram's lifecycle themselves (window
+// rotation, cross-process merges) but still want summary exposition on
+// /metrics. Panics if the exact name and label set is already
+// registered.
+func (r *Registry) RegisterHDR(name string, h *HDRHistogram, labels ...string) {
+	r.getOrCreate(name, kindSummary, errDuplicate, labels, func() *series {
+		return &series{hdr: h}
+	})
+}
+
 // CounterFunc registers a counter whose value is pulled from fn at
 // exposition time — for components that already maintain their own
 // monotonic counts (e.g. edge.Cache hit/miss totals). Panics if the

@@ -20,7 +20,7 @@
 #   SPEED          replay timeline compression    (default 30)
 #   SLO            benign gate with defenses on   (default "p99<250ms,err<1%")
 #   SEED           stream seed                    (default 7)
-#   OUT            benign replay report path      (default replay-attack.json)
+#   OUT            benign replay report path      (default out/replay-attack.json)
 set -eu
 
 . "$(dirname "$0")/lib.sh"
@@ -30,10 +30,11 @@ MIN_UNDEFENDED="${MIN_UNDEFENDED:-0.4}"
 SPEED="${SPEED:-30}"
 SLO="${SLO:-p99<250ms,err<1%}"
 SEED="${SEED:-7}"
-OUT="${OUT:-replay-attack.json}"
+OUT="${OUT:-out/replay-attack.json}"
 GO="${GO:-go}"
 
 cd "$(dirname "$0")/.."
+mkdir -p "$(dirname "$OUT")"
 
 work="$(mktemp -d)"
 edge_pid=""

@@ -23,8 +23,8 @@
 #   WARMUP   excluded leading window    (default 1s)
 #   NODES    fleet size                 (default 3)
 #   RECOVER  hit-ratio recovery band    (default 0.10)
-#   OUT      replay report path         (default replay-chaos.json)
-#   REPORT   fleet chaos report path    (default chaos-report.json)
+#   OUT      replay report path         (default out/replay-chaos.json)
+#   REPORT   fleet chaos report path    (default out/chaos-report.json)
 set -eu
 
 . "$(dirname "$0")/lib.sh"
@@ -35,11 +35,12 @@ DURATION="${DURATION:-10s}"
 WARMUP="${WARMUP:-1s}"
 NODES="${NODES:-3}"
 RECOVER="${RECOVER:-0.10}"
-OUT="${OUT:-replay-chaos.json}"
-REPORT="${REPORT:-chaos-report.json}"
+OUT="${OUT:-out/replay-chaos.json}"
+REPORT="${REPORT:-out/chaos-report.json}"
 GO="${GO:-go}"
 
 cd "$(dirname "$0")/.."
+mkdir -p "$(dirname "$OUT")" "$(dirname "$REPORT")"
 
 work="$(mktemp -d)"
 fleet_pid=""

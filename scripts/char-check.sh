@@ -1,0 +1,149 @@
+#!/bin/sh
+# char-check: live-characterization gate. Builds the liveedge server
+# and the load tools, starts the edge with the -livechar plane on,
+# drives it with replayed synthetic traffic plus a fixed-URL "beacon"
+# that bursts on a known period, then asserts over /charz and /metrics
+# that the plane characterized what it saw:
+#
+#   - the beacon URL is among the top-K heavy hitters,
+#   - a detected period lands near the beacon's burst period
+#     (the synthetic pollers have randomized phases, so the beacon is
+#     the only aggregate periodicity in the stream),
+#   - the size/inter-arrival quantiles and prediction gauges are
+#     populated,
+#   - livechar_* metric cardinality stays bounded (rank labels only,
+#     never URLs),
+#   - periodic char-*.json snapshots and the run manifest were written.
+#
+# Tunables (environment):
+#   RATE          replayed load in req/s         (default 120)
+#   DURATION_S    drive time in whole seconds    (default 36)
+#   BEACON_PERIOD seconds between beacon bursts  (default 4)
+#   BEACON_BURST  requests per beacon burst      (default 12)
+#   OUT           /charz payload copied here     (default out/charz-check.json)
+set -eu
+
+. "$(dirname "$0")/lib.sh"
+
+RATE="${RATE:-120}"
+DURATION_S="${DURATION_S:-36}"
+BEACON_PERIOD="${BEACON_PERIOD:-4}"
+BEACON_BURST="${BEACON_BURST:-12}"
+OUT="${OUT:-out/charz-check.json}"
+GO="${GO:-go}"
+
+cd "$(dirname "$0")/.."
+mkdir -p "$(dirname "$OUT")"
+
+work="$(mktemp -d)"
+edge_pid=""
+beacon_pid=""
+cleanup() {
+    stop_pid "$beacon_pid" KILL
+    stop_pid "$edge_pid"
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "char-check: building liveedge, jsongen, jsonreplay"
+"$GO" build -o "$work/liveedge" ./cmd/liveedge
+"$GO" build -o "$work/jsongen" ./cmd/jsongen
+"$GO" build -o "$work/jsonreplay" ./cmd/jsonreplay
+
+echo "char-check: generating synthetic stream"
+"$work/jsongen" -preset short -scale 0.005 -q -o "$work/stream.tsv.gz"
+
+# A 1 h window so the tumbling boundary (event-time aligned) almost
+# never rotates mid-gate; 10 s snapshots so several land within the run.
+"$work/liveedge" -serve -fault-rate 0 -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -livechar -char-window 1h -char-bin 1s -char-snapshot 10s \
+    -out-dir "$work/snap" -node char-ci \
+    -url-file "$work/edge.url" 2>"$work/edge.log" &
+edge_pid=$!
+await_url_file "$work/edge.url" "$edge_pid" "$work/edge.log"
+edge_url="$(url_line "$work/edge.url" 1)"
+admin_url="$(url_line "$work/edge.url" 2)"
+beacon_url="$edge_url/article/1001"
+
+# The beacon: a burst of identical requests every $BEACON_PERIOD s.
+# It doubles as both the dominant heavy hitter and the injected
+# periodicity the detector must recover from the per-second rate bins.
+(
+    deadline=$(( $(date +%s) + DURATION_S ))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        i=0
+        while [ "$i" -lt "$BEACON_BURST" ]; do
+            fetch_url "$beacon_url" >/dev/null 2>&1 || true
+            i=$((i + 1))
+        done
+        sleep "$BEACON_PERIOD"
+    done
+) &
+beacon_pid=$!
+
+echo "char-check: replaying at ${RATE} req/s for ${DURATION_S}s with a ${BEACON_PERIOD}s beacon"
+"$work/jsonreplay" -i "$work/stream.tsv.gz" -target-file "$work/edge.url" \
+    -rate "$RATE" -duration "${DURATION_S}s" -out "$work/replay.json" \
+    -progress 0 >/dev/null || {
+    status=$?
+    echo "char-check: FAILED (jsonreplay exit $status); edge log follows" >&2
+    cat "$work/edge.log" >&2
+    exit "$status"
+}
+stop_pid "$beacon_pid" KILL
+beacon_pid=""
+
+# Let the async tap drain, then capture the characterization.
+sleep 1
+fetch_url "$admin_url/charz" >"$OUT" || {
+    echo "char-check: FAILED: /charz unreachable; edge log follows" >&2
+    cat "$work/edge.log" >&2
+    exit 1
+}
+fetch_url "$admin_url/metrics" >"$work/metrics.txt"
+
+stop_pid "$edge_pid"
+edge_pid=""
+
+fail() {
+    echo "char-check: FAILED: $*" >&2
+    echo "char-check: /charz payload kept at $OUT" >&2
+    exit 1
+}
+
+grep -q '"schema": "repro/livechar/v1"' "$OUT" || fail "/charz missing livechar schema"
+
+events="$(awk -F': ' '/"events":/ {gsub(/,/, "", $2); print $2; exit}' "$OUT")"
+[ "${events:-0}" -ge 1000 ] || fail "only ${events:-0} events characterized (want >= 1000)"
+
+# The beacon must be a tracked heavy hitter (top_objects keys are full
+# URLs; nothing else in the stream requests /article/1001).
+grep -q 'article/1001' "$OUT" || fail "beacon URL absent from /charz top objects"
+
+# A detected period within [BEACON_PERIOD-1, BEACON_PERIOD+2] — the
+# burst loop drifts slightly late (curl time adds to the sleep), so the
+# tolerance is asymmetric.
+awk -v lo="$((BEACON_PERIOD - 1))" -v hi="$((BEACON_PERIOD + 2))" '
+    /"seconds":/ { gsub(/[",]/, "", $2); if ($2 + 0 >= lo && $2 + 0 <= hi) found = 1 }
+    END { exit !found }' "$OUT" || fail "no detected period within [$((BEACON_PERIOD - 1)), $((BEACON_PERIOD + 2))]s"
+
+grep -q '"size_quantiles"' "$OUT" || fail "size quantiles absent"
+grep -q '"interarrival_quantiles"' "$OUT" || fail "inter-arrival quantiles absent"
+
+predict_obs="$(awk -F': ' '/"observations":/ {gsub(/,/, "", $2); print $2; exit}' "$OUT")"
+[ "${predict_obs:-0}" -gt 0 ] || fail "prediction gauge saw no observations"
+
+# Metrics: the livechar family must be exposed, with bounded
+# cardinality (rank-labeled top-K, no per-URL series).
+lc_series="$(grep -c '^livechar_' "$work/metrics.txt" || true)"
+[ "$lc_series" -ge 10 ] || fail "only $lc_series livechar_* series exposed (want >= 10)"
+[ "$lc_series" -le 64 ] || fail "$lc_series livechar_* series exposed — cardinality unbounded?"
+if grep '^livechar_' "$work/metrics.txt" | grep -q 'article/1001'; then
+    fail "livechar metrics leak raw URLs as labels"
+fi
+
+snaps="$(ls "$work"/snap/char-*.json 2>/dev/null | wc -l)"
+[ "$snaps" -ge 1 ] || fail "no periodic char-*.json snapshots written"
+ls "$work"/snap/run-*.json >/dev/null 2>&1 || fail "no run manifest written on shutdown"
+
+echo "char-check: PASS ($events events, beacon tracked, period detected, $lc_series livechar series, $snaps snapshots; /charz payload: $OUT)"

@@ -11,7 +11,7 @@
 #   DURATION total replay time        (default 6s)
 #   WARMUP   excluded leading window  (default 2s)
 #   SHARDS   jsongen generator shards (default 4)
-#   OUT      replay report path       (default replay-slo.json)
+#   OUT      replay report path       (default out/replay-slo.json)
 set -eu
 
 . "$(dirname "$0")/lib.sh"
@@ -21,10 +21,11 @@ RATE="${RATE:-400}"
 DURATION="${DURATION:-6s}"
 WARMUP="${WARMUP:-2s}"
 SHARDS="${SHARDS:-4}"
-OUT="${OUT:-replay-slo.json}"
+OUT="${OUT:-out/replay-slo.json}"
 GO="${GO:-go}"
 
 cd "$(dirname "$0")/.."
+mkdir -p "$(dirname "$OUT")"
 
 work="$(mktemp -d)"
 edge_pid=""
